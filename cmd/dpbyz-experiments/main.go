@@ -1,0 +1,177 @@
+// Command dpbyz-experiments regenerates the paper's tables and figures.
+//
+//	dpbyz-experiments -exp all            # everything, paper scale
+//	dpbyz-experiments -exp fig2 -smoke    # one figure, reduced scale
+//
+// Experiments: fig2, fig3, fig4 (loss/accuracy grids at b = 50/10/500),
+// table1 (VN-condition thresholds across model sizes), thm1 (error rate vs
+// model dimension) and epssweep (the full version's ε sweep).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dpbyz/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbyz-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover")
+		smoke = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
+		steps = flag.Int("steps", 0, "override step count (0 = experiment default)")
+		seeds = flag.Int("seeds", 0, "override seed count (0 = experiment default)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	scale := experiments.Scale{Steps: *steps, Seeds: *seeds}
+	if *smoke {
+		scale = experiments.Scale{Steps: 100, Seeds: 2, DatasetSize: 2000, Features: 20}
+		if *steps > 0 {
+			scale.Steps = *steps
+		}
+		if *seeds > 0 {
+			scale.Seeds = *seeds
+		}
+	}
+
+	wanted := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, w := range wanted {
+			if w == "all" || w == name {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+
+	for _, fig := range []struct {
+		name string
+		spec experiments.FigureSpec
+	}{
+		{name: "fig2", spec: experiments.Figure2(scale)},
+		{name: "fig3", spec: experiments.Figure3(scale)},
+		{name: "fig4", spec: experiments.Figure4(scale)},
+		{name: "figmlp", spec: experiments.FigureMLP(scale)},
+	} {
+		if !want(fig.name) {
+			continue
+		}
+		ran++
+		fmt.Fprintf(os.Stderr, "running %s...\n", fig.name)
+		res, err := experiments.RunFigure(ctx, fig.spec)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteFigureReport(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println(experiments.Summary(res))
+		fmt.Println()
+	}
+
+	if want("table1") {
+		ran++
+		spec := experiments.Table1Spec{}
+		res, err := experiments.RunTable1(spec)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteTable1Report(os.Stdout, res, 50, 5.0/23); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want("thm1") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running thm1...")
+		spec := experiments.Theorem1Spec{}
+		if *smoke {
+			spec = experiments.Theorem1Spec{Dims: []int{8, 32, 128}, Steps: 150, Seeds: 2, DatasetSize: 1500}
+		}
+		points, err := experiments.RunTheorem1(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Theorem 1: final suboptimality vs model dimension")
+		if err := experiments.WriteTheorem1Report(os.Stdout, points); err != nil {
+			return err
+		}
+		bPoints, err := experiments.RunTheorem1BatchSweep(ctx, spec, nil)
+		if err != nil {
+			return err
+		}
+		tPoints, err := experiments.RunTheorem1StepsSweep(ctx, spec, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Theorem 1: rate factors 1/b^2 and 1/T (unclipped harness)")
+		if err := experiments.WriteTheorem1SweepReports(os.Stdout, bPoints, tPoints); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want("vnempirical") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running vnempirical...")
+		points, err := experiments.RunVNEmpirical(ctx, experiments.VNEmpiricalSpec{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Empirical DP-adjusted VN ratio vs k_F(n, f) (Eq. 8)")
+		if err := experiments.WriteVNEmpiricalReport(os.Stdout, points); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want("crossover") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running crossover...")
+		res, err := experiments.RunCrossover(ctx, experiments.CrossoverSpec{Scale: scale})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Batch-size crossover (final accuracy per condition)")
+		if err := experiments.WriteCrossoverReport(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want("epssweep") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running epssweep...")
+		points, err := experiments.RunEpsilonSweep(ctx, experiments.EpsilonSweepSpec{Scale: scale})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Epsilon sweep (alie attack, MDA, DP on)")
+		if err := experiments.WriteEpsilonSweepReport(os.Stdout, points); err != nil {
+			return err
+		}
+	}
+
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command dpbyz-server runs the networked parameter server: it waits for n
+// workers (dpbyz-worker processes), drives the configured number of
+// synchronous rounds aggregating gradients with the chosen GAR, and prints
+// the final model as CSV to stdout.
+//
+//	dpbyz-server -addr 127.0.0.1:7001 -gar mda -n 5 -f 1 -dim 69 -steps 200
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"dpbyz/internal/cluster"
+	"dpbyz/internal/gar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbyz-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+		garName  = flag.String("gar", "mda", "aggregation rule")
+		n        = flag.Int("n", 5, "total workers")
+		f        = flag.Int("f", 1, "max Byzantine workers")
+		dim      = flag.Int("dim", 69, "model dimension d")
+		steps    = flag.Int("steps", 200, "synchronous rounds")
+		lr       = flag.Float64("lr", 2, "learning rate")
+		momentum = flag.Float64("momentum", 0.99, "momentum coefficient")
+		timeout  = flag.Duration("round-timeout", 10*time.Second, "per-round gradient deadline")
+		verbose  = flag.Bool("v", false, "log per-round progress")
+	)
+	flag.Parse()
+
+	g, err := gar.New(*garName, *n, *f)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.ServerConfig{
+		Addr:         *addr,
+		GAR:          g,
+		Dim:          *dim,
+		Steps:        *steps,
+		LearningRate: *lr,
+		Momentum:     *momentum,
+		RoundTimeout: *timeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := cluster.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d workers\n", srv.Addr(), *n)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := srv.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done: %d rounds, %d missed gradients\n",
+		res.History.Len(), res.MissedGradients)
+	for i, w := range res.Params {
+		fmt.Println(strconv.Itoa(i) + "," + strconv.FormatFloat(w, 'g', 17, 64))
+	}
+	return nil
+}

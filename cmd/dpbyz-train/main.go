@@ -1,0 +1,195 @@
+// Command dpbyz-train runs a single distributed-SGD training experiment in
+// the paper's parameter-server model and prints the metric trace as CSV.
+//
+// Example (the paper's Fig. 2 "ALIE + DP" cell, seed 1):
+//
+//	dpbyz-train -gar mda -attack alie -dp -batch 50 -steps 1000 -seed 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpbyz"
+	"dpbyz/internal/checkpoint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbyz-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		garName   = flag.String("gar", "mda", "aggregation rule (see -list)")
+		attackArg = flag.String("attack", "", "attack name, empty for no attack (see -list)")
+		workers   = flag.Int("n", 11, "total workers")
+		byz       = flag.Int("f", 5, "max Byzantine workers")
+		steps     = flag.Int("steps", 1000, "SGD steps T")
+		batch     = flag.Int("batch", 50, "batch size b")
+		lr        = flag.Float64("lr", 2, "learning rate")
+		momentum  = flag.Float64("momentum", 0.99, "worker-side momentum coefficient")
+		serverMom = flag.Bool("server-momentum", false, "apply momentum at the server instead of the workers")
+		postNoise = flag.Bool("post-noise-momentum", false, "theory-faithful ordering: per-sample clip, noise, then momentum")
+		modelName = flag.String("model", "logistic-mse", "model: logistic-mse|logistic-nll|mlp")
+		hidden    = flag.Int("hidden", 16, "hidden width for -model mlp")
+		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
+		dpOn      = flag.Bool("dp", false, "inject Gaussian DP noise")
+		epsilon   = flag.Float64("eps", 0.2, "per-step privacy epsilon")
+		delta     = flag.Float64("delta", 1e-6, "per-step privacy delta")
+		laplace   = flag.Bool("laplace", false, "use the Laplace mechanism instead of Gaussian")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		dsSize    = flag.Int("dataset", 11055, "synthetic dataset size")
+		features  = flag.Int("features", 68, "feature dimension")
+		libsvm    = flag.String("libsvm", "", "optional LIBSVM file to train on instead of synthetic data")
+		accEvery  = flag.Int("acc-every", 50, "measure accuracy every k steps")
+		savePath  = flag.String("save", "", "write the trained model as a JSON checkpoint to this path")
+		list      = flag.Bool("list", false, "list registered GARs and attacks, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("GARs:   ", dpbyz.GARNames())
+		fmt.Println("attacks:", dpbyz.AttackNames())
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ds *dpbyz.Dataset
+	var err error
+	if *libsvm != "" {
+		f, ferr := os.Open(*libsvm)
+		if ferr != nil {
+			return fmt.Errorf("open libsvm file: %w", ferr)
+		}
+		defer f.Close()
+		ds, err = dpbyz.ParseLIBSVM(f, *features)
+	} else {
+		ds, err = dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{
+			N: *dsSize, Features: *features, Seed: *seed,
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("load dataset: %w", err)
+	}
+	trainN := ds.Len() * 8400 / 11055
+	train, test, err := ds.Split(trainN, dpbyz.NewStream(*seed^0x53504c4954))
+	if err != nil {
+		return fmt.Errorf("split dataset: %w", err)
+	}
+
+	var m dpbyz.Model
+	var initParams []float64
+	switch *modelName {
+	case "logistic-mse":
+		m, err = dpbyz.NewLogisticMSE(ds.Dim())
+	case "logistic-nll":
+		m, err = dpbyz.NewLogisticNLL(ds.Dim())
+	case "mlp":
+		var mlp interface {
+			dpbyz.Model
+			InitParams(func() float64) []float64
+		}
+		mlp, err = dpbyz.NewMLP(ds.Dim(), *hidden)
+		if err == nil {
+			m = mlp
+			initParams = mlp.InitParams(dpbyz.NewStream(*seed ^ 0x4d4c50).Normal)
+		}
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		return fmt.Errorf("build model: %w", err)
+	}
+	cfg := dpbyz.TrainConfig{
+		Model:             m,
+		Train:             train,
+		Test:              test,
+		Steps:             *steps,
+		BatchSize:         *batch,
+		LearningRate:      *lr,
+		ClipNorm:          *clip,
+		Seed:              *seed,
+		InitParams:        initParams,
+		AccuracyEvery:     *accEvery,
+		MomentumPostNoise: *postNoise,
+		Parallel:          true,
+	}
+	if *serverMom {
+		cfg.Momentum = *momentum
+	} else {
+		cfg.WorkerMomentum = *momentum
+	}
+	if *attackArg == "" {
+		cfg.GAR, err = dpbyz.NewGAR("average", *workers, 0)
+	} else {
+		cfg.GAR, err = dpbyz.NewGAR(*garName, *workers, *byz)
+		if err == nil {
+			cfg.Attack, err = dpbyz.NewAttack(*attackArg)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if *dpOn {
+		bud := dpbyz.Budget{Epsilon: *epsilon, Delta: *delta}
+		if *laplace {
+			cfg.Mechanism, err = dpbyz.NewLaplaceMechanismForGradient(*clip, *batch, cfg.Model.Dim(), *epsilon)
+		} else {
+			cfg.Mechanism, err = dpbyz.NewGaussianMechanism(*clip, *batch, bud)
+		}
+		if err != nil {
+			return fmt.Errorf("build mechanism: %w", err)
+		}
+		acct, aerr := dpbyz.NewAccountant(bud)
+		if aerr != nil {
+			return aerr
+		}
+		cfg.Accountant = acct
+		defer func() {
+			total := acct.Basic()
+			fmt.Fprintf(os.Stderr, "privacy spend (basic composition): eps=%.3g delta=%.3g over %d releases\n",
+				total.Epsilon, total.Delta, acct.Steps())
+		}()
+	}
+
+	res, err := dpbyz.Train(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "final: loss=%.6g acc=%.4f\n",
+		res.History.FinalLoss(), res.History.FinalAccuracy())
+	if *savePath != "" {
+		note := fmt.Sprintf("gar=%s attack=%s dp=%v eps=%g", *garName, *attackArg, *dpOn, *epsilon)
+		err := checkpoint.Save(*savePath, &checkpoint.Checkpoint{
+			Model:        *modelName,
+			Features:     ds.Dim(),
+			Hidden:       mlpHidden(*modelName, *hidden),
+			Params:       res.Params,
+			StepsTrained: *steps,
+			Seed:         *seed,
+			Note:         note,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *savePath)
+	}
+	return res.History.WriteCSV(os.Stdout)
+}
+
+// mlpHidden returns the hidden width to record: only MLPs have one.
+func mlpHidden(modelName string, hidden int) int {
+	if modelName == "mlp" {
+		return hidden
+	}
+	return 0
+}

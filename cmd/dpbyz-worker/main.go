@@ -1,0 +1,105 @@
+// Command dpbyz-worker joins a dpbyz-server as one worker: it samples local
+// batches, computes clipped (optionally DP-noised) gradients and submits
+// them each round. With -attack it behaves Byzantine.
+//
+//	dpbyz-worker -addr 127.0.0.1:7001 -id 0 -batch 50 -dp
+//	dpbyz-worker -addr 127.0.0.1:7001 -id 4 -attack signflip
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/cluster"
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbyz-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7001", "server address")
+		id        = flag.Int("id", 0, "worker id in [0, n)")
+		batch     = flag.Int("batch", 50, "batch size b")
+		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
+		dpOn      = flag.Bool("dp", false, "inject Gaussian DP noise")
+		epsilon   = flag.Float64("eps", 0.2, "per-step epsilon")
+		delta     = flag.Float64("delta", 1e-6, "per-step delta")
+		attackArg = flag.String("attack", "", "behave Byzantine with this attack")
+		seed      = flag.Uint64("seed", 0, "random seed (default: worker id + 1)")
+		dsSize    = flag.Int("dataset", 11055, "synthetic local dataset size")
+		features  = flag.Int("features", 68, "feature dimension")
+		libsvm    = flag.String("libsvm", "", "optional LIBSVM file for local data")
+	)
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = uint64(*id + 1)
+	}
+	var ds *data.Dataset
+	var err error
+	if *libsvm != "" {
+		file, ferr := os.Open(*libsvm)
+		if ferr != nil {
+			return fmt.Errorf("open libsvm file: %w", ferr)
+		}
+		defer file.Close()
+		ds, err = data.ParseLIBSVM(file, *features)
+	} else {
+		ds, err = data.SyntheticPhishing(data.SyntheticPhishingConfig{
+			N: *dsSize, Features: *features, Seed: *seed,
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("load dataset: %w", err)
+	}
+	m, err := model.NewLogisticMSE(ds.Dim())
+	if err != nil {
+		return err
+	}
+
+	cfg := cluster.WorkerConfig{
+		Addr:      *addr,
+		WorkerID:  *id,
+		Model:     m,
+		Train:     ds,
+		BatchSize: *batch,
+		ClipNorm:  *clip,
+		Seed:      *seed,
+	}
+	if *dpOn {
+		mech, merr := dp.NewGaussian(*clip, *batch, dp.Budget{Epsilon: *epsilon, Delta: *delta})
+		if merr != nil {
+			return merr
+		}
+		cfg.Mechanism = mech
+	}
+	if *attackArg != "" {
+		atk, aerr := attack.New(*attackArg)
+		if aerr != nil {
+			return aerr
+		}
+		cfg.Attack = atk
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := cluster.RunWorker(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker %d finished after %d rounds\n", *id, res.Rounds)
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package dpbyz is a from-scratch Go reproduction of "Differential Privacy
+// and Byzantine Resilience in SGD: Do They Add Up?" (Guerraoui, Gupta,
+// Pinot, Rouault, Stephan — PODC 2021).
+//
+// The package is a facade over the internal substrates; it exposes
+// everything a downstream user needs to:
+//
+//   - run distributed SGD in the parameter-server model with any of the
+//     paper's (α, f)-Byzantine-resilient aggregation rules (Krum,
+//     Multi-Krum, Median, Trimmed Mean, Phocas, Meamed, Bulyan, MDA),
+//   - inject worker-local differential privacy noise (Gaussian or Laplace
+//     mechanisms) with composition accounting,
+//   - subject the training to the state-of-the-art attacks the paper
+//     evaluates (A Little Is Enough, Fall of Empires),
+//   - analyse the variance-to-norm (VN) ratio condition and the paper's
+//     Table-1 necessary conditions for combining DP with Byzantine
+//     resilience, and
+//   - reproduce every table and figure of the paper's evaluation via
+//     the experiments API or cmd/dpbyz-experiments.
+//
+// # Quick start
+//
+//	ds, _ := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{Seed: 1})
+//	train, test, _ := ds.Split(8400, dpbyz.NewStream(1))
+//	m, _ := dpbyz.NewLogisticMSE(ds.Dim())
+//	g, _ := dpbyz.NewGAR("mda", 11, 5)
+//	atk, _ := dpbyz.NewAttack("alie")
+//	mech, _ := dpbyz.NewGaussianMechanism(0.01, 50, dpbyz.Budget{Epsilon: 0.2, Delta: 1e-6})
+//	res, err := dpbyz.Train(context.Background(), dpbyz.TrainConfig{
+//		Model: m, Train: train, Test: test, GAR: g, Attack: atk, Mechanism: mech,
+//		Steps: 1000, BatchSize: 50, LearningRate: 2, Momentum: 0.99,
+//		ClipNorm: 0.01, Seed: 1, AccuracyEvery: 50,
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package dpbyz

@@ -1,0 +1,78 @@
+// Gradient leakage: the privacy threat that motivates the paper (§1,
+// citing Zhu et al., "Deep Leakage from Gradients"). An honest-but-curious
+// parameter server receives gradients in the clear (the paper's Remark 1:
+// channels give integrity, not confidentiality) and reconstructs a worker's
+// training sample exactly from a single-example gradient — then the demo
+// shows the paper's defence, worker-local DP noise, destroying the attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpbyz"
+	"dpbyz/internal/data"
+	"dpbyz/internal/leakage"
+	"dpbyz/internal/model"
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const features = 16
+	m, err := model.NewLogisticMSE(features)
+	if err != nil {
+		return err
+	}
+	rng := randx.New(7)
+	w := rng.NormalVec(make([]float64, m.Dim()), 0.5)
+
+	// The victim's private sample.
+	secret := rng.NormalVec(make([]float64, features), 1)
+	point := data.Point{X: secret, Y: 1}
+
+	grad := make([]float64, m.Dim())
+	m.Gradient(grad, w, []data.Point{point})
+
+	fmt.Println("=== clear gradient (no defence) ===")
+	rec, err := leakage.InvertAffineGradient(vecmath.Clone(grad))
+	if err != nil {
+		return err
+	}
+	relErr, err := leakage.ReconstructionError(rec.X, secret)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("secret[0:4]    = %+.4f %+.4f %+.4f %+.4f\n", secret[0], secret[1], secret[2], secret[3])
+	fmt.Printf("recovered[0:4] = %+.4f %+.4f %+.4f %+.4f\n", rec.X[0], rec.X[1], rec.X[2], rec.X[3])
+	fmt.Printf("relative reconstruction error: %.2e  (exact leak)\n\n", relErr)
+
+	fmt.Println("=== with the paper's defence: clip + Gaussian noise ===")
+	for _, eps := range []float64{0.9, 0.5, 0.2} {
+		noisy := vecmath.Clone(grad)
+		vecmath.ClipL2(noisy, 0.01)
+		mech, err := dpbyz.NewGaussianMechanism(0.01, 1, dpbyz.Budget{Epsilon: eps, Delta: 1e-6})
+		if err != nil {
+			return err
+		}
+		mech.Perturb(noisy, randx.New(11))
+		rec, err := leakage.InvertAffineGradient(noisy)
+		if err != nil {
+			fmt.Printf("eps=%.1f: inversion failed outright (%v)\n", eps, err)
+			continue
+		}
+		relErr, err := leakage.ReconstructionError(rec.X, secret)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("eps=%.1f: relative reconstruction error %.3g\n", eps, relErr)
+	}
+	fmt.Println("\nErrors >> 1 mean the \"reconstruction\" is noise: DP defeats the leak.")
+	return nil
+}

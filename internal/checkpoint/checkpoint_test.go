@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Model:        "logistic-mse",
+		Features:     4,
+		Params:       []float64{0.1, -0.2, 0.3, 0, 0.5},
+		StepsTrained: 100,
+		Seed:         1,
+		Note:         "test",
+	}
+}
+
+func TestRoundTripInMemory(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, validCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := validCheckpoint()
+	if got.Model != want.Model || got.Features != want.Features ||
+		got.StepsTrained != want.StepsTrained || got.Seed != want.Seed {
+		t.Errorf("metadata round trip: %+v", got)
+	}
+	if len(got.Params) != 5 || got.Params[1] != -0.2 {
+		t.Errorf("params round trip: %v", got.Params)
+	}
+	if got.Version != FormatVersion {
+		t.Errorf("version = %d", got.Version)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := Save(path, validCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != "logistic-mse" {
+		t.Errorf("model = %q", got.Model)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Checkpoint)
+		want   error
+	}{
+		{name: "empty params", mutate: func(c *Checkpoint) { c.Params = nil }, want: ErrEmpty},
+		{name: "missing model", mutate: func(c *Checkpoint) { c.Model = "" }},
+		{name: "zero features", mutate: func(c *Checkpoint) { c.Features = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := validCheckpoint()
+			tt.mutate(c)
+			var sb strings.Builder
+			err := Write(&sb, c)
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	src := `{"version": 99, "model": "logistic-mse", "features": 2, "params": [1, 2, 3]}`
+	if _, err := Read(strings.NewReader(src)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("error = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,486 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/model"
+	"dpbyz/internal/vecmath"
+)
+
+func testDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	ds, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
+		N: 600, Features: 8, NoiseRate: 0.02, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testModel(t *testing.T) model.Model {
+	t.Helper()
+	m, err := model.NewLogisticMSE(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustGAR(t *testing.T, name string, n, f int) gar.GAR {
+	t.Helper()
+	g, err := gar.New(name, n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// launch runs a server plus n worker goroutines and returns the server
+// result once everything has shut down.
+func launch(t *testing.T, srvCfg ServerConfig, workerCfgs []WorkerConfig) (*ServerResult, []*WorkerResult, []error) {
+	t.Helper()
+	srv, err := NewServer(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	results := make([]*WorkerResult, len(workerCfgs))
+	workerErrs := make([]error, len(workerCfgs))
+	var wg sync.WaitGroup
+	for i := range workerCfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := workerCfgs[i]
+			cfg.Addr = addr
+			results[i], workerErrs[i] = RunWorker(ctx, cfg)
+		}(i)
+	}
+	srvRes, srvErr := srv.Run(ctx)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	return srvRes, results, workerErrs
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	g := mustGAR(t, "average", 3, 0)
+	tests := []struct {
+		name string
+		cfg  ServerConfig
+	}{
+		{name: "nil gar", cfg: ServerConfig{Dim: 9, Steps: 1, LearningRate: 1}},
+		{name: "zero dim", cfg: ServerConfig{GAR: g, Steps: 1, LearningRate: 1}},
+		{name: "zero steps", cfg: ServerConfig{GAR: g, Dim: 9, LearningRate: 1}},
+		{name: "zero lr", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1}},
+		{name: "momentum 1", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, Momentum: 1}},
+		{name: "bad init", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, InitParams: []float64{1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.cfg.Addr = "127.0.0.1:0"
+			if _, err := NewServer(tt.cfg); err == nil {
+				t.Error("expected config error")
+			}
+		})
+	}
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	ds := testDataset(t)
+	m := testModel(t)
+	base := WorkerConfig{Addr: "127.0.0.1:1", WorkerID: 0, Model: m, Train: ds, BatchSize: 10}
+	tests := []struct {
+		name   string
+		mutate func(*WorkerConfig)
+	}{
+		{name: "empty addr", mutate: func(c *WorkerConfig) { c.Addr = "" }},
+		{name: "negative id", mutate: func(c *WorkerConfig) { c.WorkerID = -1 }},
+		{name: "nil model", mutate: func(c *WorkerConfig) { c.Model = nil }},
+		{name: "nil data", mutate: func(c *WorkerConfig) { c.Train = nil }},
+		{name: "zero batch", mutate: func(c *WorkerConfig) { c.BatchSize = 0 }},
+		{name: "negative clip", mutate: func(c *WorkerConfig) { c.ClipNorm = -1 }},
+		{name: "feature mismatch", mutate: func(c *WorkerConfig) {
+			mm, err := model.NewLogisticMSE(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Model = mm
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := RunWorker(context.Background(), cfg); err == nil {
+				t.Error("expected config error")
+			}
+		})
+	}
+}
+
+func TestEndToEndHonestTraining(t *testing.T) {
+	const n = 3
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        40,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 5 * time.Second,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 20,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+	}
+	srvRes, workerRes, workerErrs := launch(t, srvCfg, workers)
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if srvRes.MissedGradients != 0 {
+		t.Errorf("missed gradients = %d", srvRes.MissedGradients)
+	}
+	if srvRes.History.Len() != 40 {
+		t.Errorf("history length = %d", srvRes.History.Len())
+	}
+	// Model must have learned something: loss on the dataset below the
+	// w=0 starting loss (0.25 for logistic-MSE at p=0.5).
+	loss := model.DatasetLoss(m, srvRes.Params, ds)
+	if loss >= 0.25 {
+		t.Errorf("final dataset loss %v did not improve on 0.25", loss)
+	}
+	// Workers must all have received the same final model.
+	for i, wr := range workerRes {
+		if wr.Rounds != 40 {
+			t.Errorf("worker %d rounds = %d", i, wr.Rounds)
+		}
+		if !vecmath.ApproxEqual(wr.FinalParams, srvRes.Params, 0) {
+			t.Errorf("worker %d final params differ from server", i)
+		}
+	}
+}
+
+func TestCrashedWorkerBecomesZeroGradient(t *testing.T) {
+	const n = 3
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        10,
+		LearningRate: 1,
+		Momentum:     0,
+		RoundTimeout: 500 * time.Millisecond,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 10,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+	}
+	workers[2].MaxRounds = 3 // crashes after 3 rounds
+	srvRes, workerRes, workerErrs := launch(t, srvCfg, workers)
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if workerRes[2].Rounds != 3 {
+		t.Errorf("crashed worker rounds = %d", workerRes[2].Rounds)
+	}
+	// Rounds 3..9 are missing worker 2's gradient: 7 misses.
+	if srvRes.MissedGradients != 7 {
+		t.Errorf("missed gradients = %d, want 7", srvRes.MissedGradients)
+	}
+	if srvRes.History.Len() != 10 {
+		t.Errorf("server did not finish all rounds: %d", srvRes.History.Len())
+	}
+}
+
+func TestByzantineWorkerWithMDA(t *testing.T) {
+	const n, f = 5, 1
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "mda", n, f),
+		Dim:          m.Dim(),
+		Steps:        40,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 5 * time.Second,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 20,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+	}
+	workers[0].Attack = attack.NewSignFlip()
+	srvRes, _, workerErrs := launch(t, srvCfg, workers)
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	loss := model.DatasetLoss(m, srvRes.Params, ds)
+	if loss >= 0.25 {
+		t.Errorf("MDA failed to protect training: loss %v", loss)
+	}
+}
+
+func TestDPWorkersOverNetwork(t *testing.T) {
+	const n = 3
+	ds := testDataset(t)
+	m := testModel(t)
+	bud := dp.Budget{Epsilon: 0.5, Delta: 1e-6}
+	acct, err := dp.NewAccountant(bud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        15,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 5 * time.Second,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		mech, err := dp.NewGaussian(0.01, 20, bud)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = WorkerConfig{
+			WorkerID:   i,
+			Model:      m,
+			Train:      ds,
+			BatchSize:  20,
+			ClipNorm:   0.01,
+			Mechanism:  mech,
+			Accountant: acct,
+			Seed:       uint64(i + 1),
+		}
+	}
+	_, _, workerErrs := launch(t, srvCfg, workers)
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if got, want := acct.Steps(), n*15; got != want {
+		t.Errorf("accountant releases = %d, want %d", got, want)
+	}
+}
+
+func TestServerContextCancelDuringAccept(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", 2, 0),
+		Dim:          3,
+		Steps:        5,
+		LearningRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := srv.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkerDialFailure(t *testing.T) {
+	ds := testDataset(t)
+	cfg := WorkerConfig{
+		Addr:        "127.0.0.1:1", // nothing listens here
+		WorkerID:    0,
+		Model:       testModel(t),
+		Train:       ds,
+		BatchSize:   5,
+		DialTimeout: 200 * time.Millisecond,
+	}
+	if _, err := RunWorker(context.Background(), cfg); err == nil {
+		t.Error("dial to dead address did not error")
+	}
+}
+
+func TestServerRejectsDuplicateAndBadIDs(t *testing.T) {
+	const n = 2
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        3,
+		LearningRate: 1,
+		RoundTimeout: 2 * time.Second,
+	}
+	srv, err := NewServer(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A rogue client sends an out-of-range id and must be rejected; the
+	// run then completes with two well-behaved workers.
+	go func() {
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			return
+		}
+		c := newConn(raw)
+		bad := Hello{WorkerID: 99}
+		_ = c.send(envelope{Hello: &bad}, time.Now().Add(time.Second))
+		// The server closes this connection; wait for that.
+		_, _ = c.receive(time.Now().Add(2 * time.Second))
+		_ = c.close()
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(100 * time.Millisecond) // let the rogue client go first
+			_, workerErrs[i] = RunWorker(ctx, WorkerConfig{
+				Addr:      srv.Addr(),
+				WorkerID:  i,
+				Model:     m,
+				Train:     ds,
+				BatchSize: 10,
+				Seed:      uint64(i + 1),
+			})
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.History.Len() != 3 {
+		t.Errorf("rounds completed = %d", res.History.Len())
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+}
+
+func TestStragglerMissesRounds(t *testing.T) {
+	const n = 3
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        5,
+		LearningRate: 1,
+		RoundTimeout: 300 * time.Millisecond,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 10,
+			Seed:      uint64(i + 1),
+		}
+	}
+	// Worker 2 always answers after the round deadline.
+	workers[2].RoundDelay = time.Second
+	srvRes, _, _ := launch(t, srvCfg, workers)
+	if srvRes.History.Len() != 5 {
+		t.Errorf("server finished %d rounds", srvRes.History.Len())
+	}
+	// The straggler misses every round (late gradients are stale next round).
+	if srvRes.MissedGradients < 4 {
+		t.Errorf("missed gradients = %d, want >= 4", srvRes.MissedGradients)
+	}
+}
+
+func TestWrongDimensionGradientDiscarded(t *testing.T) {
+	const n = 2
+	ds := testDataset(t) // 8 features -> dim 9
+	m := testModel(t)
+	smallModel, err := model.NewLogisticMSE(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallDS, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
+		N: 100, Features: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := ServerConfig{
+		Addr:         "127.0.0.1:0",
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        3,
+		LearningRate: 1,
+		RoundTimeout: 300 * time.Millisecond,
+	}
+	workers := []WorkerConfig{
+		{WorkerID: 0, Model: m, Train: ds, BatchSize: 10, Seed: 1},
+		// Worker 1 submits 5-dimensional gradients against a 9-dim server;
+		// the server must discard them and fall back to zero vectors.
+		{WorkerID: 1, Model: smallModel, Train: smallDS, BatchSize: 10, Seed: 2},
+	}
+	srvRes, _, _ := launch(t, srvCfg, workers)
+	if srvRes.History.Len() != 3 {
+		t.Errorf("server finished %d rounds", srvRes.History.Len())
+	}
+	if srvRes.MissedGradients != 3 {
+		t.Errorf("missed gradients = %d, want 3 (one per round)", srvRes.MissedGradients)
+	}
+}

@@ -1,0 +1,101 @@
+// Package cluster is the networked realization of the paper's parameter
+// server model (Fig. 1): a TCP server that drives synchronous training
+// rounds and worker processes that connect to it, compute clipped,
+// DP-noised gradients and submit them each round.
+//
+// The protocol follows §2.1: training is divided into synchronous steps;
+// the server broadcasts the current parameter vector, waits for gradients
+// (treating any gradient not received before the round deadline as the
+// zero vector) and applies the GAR + momentum update. Channels carry
+// integrity only — gradients travel in the clear, as the paper's threat
+// model prescribes (Remark 1): privacy comes solely from the workers' own
+// noise injection.
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Protocol messages, gob-encoded over TCP. Every connection starts with a
+// Hello from the worker, after which the server sends one Params message
+// per round and the worker answers with one Gradient message.
+type (
+	// Hello announces a worker to the server.
+	Hello struct {
+		// WorkerID must be unique in [0, n).
+		WorkerID int
+	}
+
+	// Params carries the model state for one round.
+	Params struct {
+		// Step is the 0-based round number.
+		Step int
+		// Weights is the current parameter vector w_t.
+		Weights []float64
+		// Done tells the worker that training has finished; Weights then
+		// holds the final model.
+		Done bool
+	}
+
+	// Gradient is a worker's submission for one round.
+	Gradient struct {
+		// WorkerID identifies the sender.
+		WorkerID int
+		// Step echoes the round this gradient answers.
+		Step int
+		// Grad is the (possibly clipped and noised) gradient vector.
+		Grad []float64
+	}
+)
+
+// envelope wraps every message with a type tag so a single gob
+// encoder/decoder pair per connection can carry all message kinds.
+type envelope struct {
+	Hello    *Hello
+	Params   *Params
+	Gradient *Gradient
+}
+
+// Wire errors.
+var (
+	ErrBadMessage = errors.New("cluster: unexpected message type")
+	ErrBadHello   = errors.New("cluster: invalid hello")
+)
+
+// conn wraps a net.Conn with gob codecs and deadline helpers.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) send(e envelope, deadline time.Time) error {
+	if err := c.raw.SetWriteDeadline(deadline); err != nil {
+		return fmt.Errorf("cluster: set write deadline: %w", err)
+	}
+	if err := c.enc.Encode(&e); err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	return nil
+}
+
+func (c *conn) receive(deadline time.Time) (envelope, error) {
+	if err := c.raw.SetReadDeadline(deadline); err != nil {
+		return envelope{}, fmt.Errorf("cluster: set read deadline: %w", err)
+	}
+	var e envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return envelope{}, fmt.Errorf("cluster: decode: %w", err)
+	}
+	return e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"dpbyz/internal/gar"
+	"dpbyz/internal/metrics"
+	"dpbyz/internal/vecmath"
+)
+
+// DefaultRoundTimeout bounds how long the server waits for gradients each
+// round before substituting zero vectors for the missing workers.
+const DefaultRoundTimeout = 10 * time.Second
+
+// ServerConfig configures the parameter server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// GAR is the aggregation rule; its N() is the number of workers the
+	// server waits for before starting.
+	GAR gar.GAR
+	// Dim is the model dimension d.
+	Dim int
+	// Steps is the number of synchronous rounds.
+	Steps int
+	// LearningRate and Momentum define the Eq. 9 update.
+	LearningRate float64
+	Momentum     float64
+	// InitParams optionally sets w_0 (defaults to the zero vector).
+	InitParams []float64
+	// RoundTimeout bounds each gradient-collection phase; missing gradients
+	// become zero vectors per §2.1 (default DefaultRoundTimeout).
+	RoundTimeout time.Duration
+	// Logf, when non-nil, receives progress lines (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) validate() error {
+	if c.GAR == nil {
+		return errors.New("cluster: nil aggregation rule")
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("cluster: non-positive dim %d", c.Dim)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("cluster: non-positive steps %d", c.Steps)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("cluster: non-positive learning rate %v", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("cluster: momentum %v outside [0, 1)", c.Momentum)
+	}
+	if c.InitParams != nil && len(c.InitParams) != c.Dim {
+		return fmt.Errorf("cluster: init params dim %d, want %d", len(c.InitParams), c.Dim)
+	}
+	return nil
+}
+
+// ServerResult is the outcome of a full networked training run.
+type ServerResult struct {
+	// Params is the final parameter vector.
+	Params []float64
+	// History records the aggregate-gradient norm per round in the Loss
+	// field (the server holds no data and cannot compute losses, matching
+	// the paper's model).
+	History *metrics.History
+	// MissedGradients counts (worker, round) pairs that timed out and were
+	// replaced by zero vectors.
+	MissedGradients int
+}
+
+// Server drives synchronous distributed SGD over TCP.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+	logf     func(string, ...any)
+}
+
+// NewServer binds the listen socket so that Addr() is known before any
+// worker starts. Call Run to begin training.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = DefaultRoundTimeout
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, listener: ln, logf: logf}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close releases the listen socket. Run closes it on return; Close is for
+// aborting a server that never ran.
+func (s *Server) Close() error { return s.listener.Close() }
+
+// workerConn tracks one registered worker connection.
+type workerConn struct {
+	id int
+	c  *conn
+}
+
+// Run accepts the expected number of workers, executes the configured
+// rounds and returns the final model. It always closes the listener and
+// all connections, and waits for its reader goroutines, before returning.
+// The context aborts both the accept phase and training between rounds.
+func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
+	defer s.listener.Close()
+	n := s.cfg.GAR.N()
+
+	workers, err := s.acceptWorkers(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan-in: every connection gets a reader goroutine pushing into a
+	// shared inbox. runDone unblocks readers stuck on a full inbox during
+	// shutdown; closing the connections unblocks readers stuck in Decode.
+	inbox := make(chan Gradient, n)
+	runDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerConn) {
+			defer wg.Done()
+			for {
+				env, err := w.c.receive(time.Time{})
+				if err != nil {
+					return
+				}
+				if env.Gradient == nil {
+					s.logf("worker %d sent non-gradient message", w.id)
+					return
+				}
+				select {
+				case inbox <- *env.Gradient:
+				case <-runDone:
+					return
+				}
+			}
+		}(w)
+	}
+	defer func() {
+		close(runDone)
+		for _, w := range workers {
+			if cerr := w.c.close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+				s.logf("close worker %d: %v", w.id, cerr)
+			}
+		}
+		wg.Wait()
+	}()
+
+	w := make([]float64, s.cfg.Dim)
+	if s.cfg.InitParams != nil {
+		copy(w, s.cfg.InitParams)
+	}
+	velocity := make([]float64, s.cfg.Dim)
+	history := &metrics.History{}
+	missed := 0
+	submissions := make([][]float64, n)
+
+	finish := func(finalW []float64) {
+		deadline := time.Now().Add(s.cfg.RoundTimeout)
+		for _, wk := range workers {
+			msg := Params{Step: s.cfg.Steps, Weights: finalW, Done: true}
+			if err := wk.c.send(envelope{Params: &msg}, deadline); err != nil {
+				s.logf("final broadcast to worker %d: %v", wk.id, err)
+			}
+		}
+	}
+
+	for step := 0; step < s.cfg.Steps; step++ {
+		select {
+		case <-ctx.Done():
+			finish(w)
+			return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
+		default:
+		}
+
+		deadline := time.Now().Add(s.cfg.RoundTimeout)
+		for _, wk := range workers {
+			msg := Params{Step: step, Weights: w}
+			if err := wk.c.send(envelope{Params: &msg}, deadline); err != nil {
+				s.logf("broadcast to worker %d: %v (treating as mute)", wk.id, err)
+			}
+		}
+
+		for i := range submissions {
+			submissions[i] = nil
+		}
+		received := 0
+		timer := time.NewTimer(s.cfg.RoundTimeout)
+	collect:
+		for received < n {
+			select {
+			case g := <-inbox:
+				if g.Step != step || g.WorkerID < 0 || g.WorkerID >= n ||
+					len(g.Grad) != s.cfg.Dim || submissions[g.WorkerID] != nil {
+					s.logf("discarding stale/bad gradient (worker %d, step %d)", g.WorkerID, g.Step)
+					continue
+				}
+				submissions[g.WorkerID] = g.Grad
+				received++
+			case <-timer.C:
+				break collect
+			case <-ctx.Done():
+				break collect
+			}
+		}
+		timer.Stop()
+
+		// Missing gradients become zero vectors (§2.1).
+		for i := range submissions {
+			if submissions[i] == nil {
+				submissions[i] = make([]float64, s.cfg.Dim)
+				missed++
+			}
+		}
+
+		agg, err := s.cfg.GAR.Aggregate(submissions)
+		if err != nil {
+			finish(w)
+			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)
+		}
+		for i := range velocity {
+			velocity[i] = s.cfg.Momentum*velocity[i] + agg[i]
+			w[i] -= s.cfg.LearningRate * velocity[i]
+		}
+		if !vecmath.AllFinite(w) {
+			finish(w)
+			return nil, fmt.Errorf("cluster: parameters diverged at round %d", step)
+		}
+		history.Append(metrics.StepRecord{
+			Step:     step,
+			Loss:     vecmath.Norm(agg), // server-side proxy: aggregate norm
+			Accuracy: math.NaN(),
+			VNRatio:  math.NaN(),
+		})
+	}
+
+	finish(w)
+	return &ServerResult{Params: w, History: history, MissedGradients: missed}, nil
+}
+
+// acceptWorkers waits for n distinct Hello messages.
+func (s *Server) acceptWorkers(ctx context.Context, n int) ([]*workerConn, error) {
+	workers := make([]*workerConn, 0, n)
+	seen := make(map[int]bool, n)
+	// Abort a blocking Accept on context cancellation by closing the
+	// listener; stop tears the watcher down on the normal path.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.listener.Close()
+		case <-stop:
+		}
+	}()
+	for len(workers) < n {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			for _, w := range workers {
+				if cerr := w.c.close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+					s.logf("close during abort: %v", cerr)
+				}
+			}
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("cluster: accept: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("cluster: accept: %w", err)
+		}
+		c := newConn(raw)
+		env, err := c.receive(time.Now().Add(s.cfg.RoundTimeout))
+		if err != nil || env.Hello == nil {
+			s.logf("rejecting connection without hello: %v", err)
+			_ = c.close()
+			continue
+		}
+		id := env.Hello.WorkerID
+		if id < 0 || id >= n || seen[id] {
+			s.logf("rejecting hello with bad id %d", id)
+			_ = c.close()
+			continue
+		}
+		seen[id] = true
+		workers = append(workers, &workerConn{id: id, c: c})
+		s.logf("worker %d joined (%d/%d)", id, len(workers), n)
+	}
+	return workers, nil
+}

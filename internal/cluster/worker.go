@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/model"
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	// Addr is the server address to dial.
+	Addr string
+	// WorkerID is this worker's unique id in [0, n).
+	WorkerID int
+	// Model is the learning task (must match the server's Dim).
+	Model model.Model
+	// Train is this worker's local shard of the training data.
+	Train *data.Dataset
+	// BatchSize is the per-round sample size b.
+	BatchSize int
+	// ClipNorm is G_max; zero disables clipping.
+	ClipNorm float64
+	// Mechanism is the worker's local DP randomizer; nil sends gradients in
+	// the clear (still unencrypted either way, per the paper's Remark 1).
+	Mechanism dp.Mechanism
+	// Accountant, when non-nil, records one private release per round.
+	Accountant *dp.Accountant
+	// Momentum is the worker-side momentum coefficient (the distributed-
+	// momentum technique the paper's stack uses). The momentum state
+	// accumulates raw batch gradients and the worker submits
+	// noise(clip(m_t)), matching the paper's experimental pipeline; set
+	// MomentumPostNoise for the theory-faithful per-sample-clip ordering
+	// (see simulate.Config.MomentumPostNoise for the trade-off).
+	Momentum float64
+	// MomentumPostNoise applies momentum after clipping and noising.
+	MomentumPostNoise bool
+	// Attack, when non-nil, makes this worker Byzantine: each round it
+	// crafts its submission from its own honest gradient estimate. Unlike
+	// the simulator's omniscient attacker, a networked Byzantine worker
+	// only observes its own data.
+	Attack attack.Attack
+	// Seed drives batch sampling and noise.
+	Seed uint64
+	// DialTimeout bounds the initial connection (default 5s).
+	DialTimeout time.Duration
+	// MaxRounds, when positive, makes the worker exit after that many
+	// rounds even without a Done message (used to model crashed workers).
+	MaxRounds int
+	// RoundDelay, when positive, sleeps before every gradient submission —
+	// a straggler model for exercising the server's round timeout.
+	RoundDelay time.Duration
+}
+
+func (c *WorkerConfig) validate() error {
+	if c.Addr == "" {
+		return errors.New("cluster: empty server address")
+	}
+	if c.WorkerID < 0 {
+		return fmt.Errorf("cluster: negative worker id %d", c.WorkerID)
+	}
+	if c.Model == nil {
+		return errors.New("cluster: nil model")
+	}
+	if c.Train == nil {
+		return errors.New("cluster: nil training data")
+	}
+	if c.Model.Features() != c.Train.Dim() {
+		return fmt.Errorf("cluster: model expects %d features, data has %d",
+			c.Model.Features(), c.Train.Dim())
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("cluster: non-positive batch size %d", c.BatchSize)
+	}
+	if c.ClipNorm < 0 {
+		return fmt.Errorf("cluster: negative clip norm %v", c.ClipNorm)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("cluster: momentum %v outside [0, 1)", c.Momentum)
+	}
+	return nil
+}
+
+// WorkerResult summarizes a worker's run.
+type WorkerResult struct {
+	// Rounds is the number of gradients the worker submitted.
+	Rounds int
+	// FinalParams is the last parameter vector received from the server
+	// (the trained model when the run completed).
+	FinalParams []float64
+}
+
+// RunWorker connects to the server and participates in training until the
+// server signals completion, the context is cancelled, or MaxRounds is
+// reached.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	dialer := net.Dialer{Timeout: dialTimeout}
+	raw, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
+	}
+	c := newConn(raw)
+	defer c.close()
+
+	// Unblock the blocking receive on cancellation by closing the conn.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = c.close()
+		case <-stop:
+		}
+	}()
+
+	hello := Hello{WorkerID: cfg.WorkerID}
+	if err := c.send(envelope{Hello: &hello}, time.Now().Add(dialTimeout)); err != nil {
+		return nil, fmt.Errorf("cluster: hello: %w", err)
+	}
+
+	root := randx.New(cfg.Seed)
+	batcher, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(1, uint64(cfg.WorkerID)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: batcher: %w", err)
+	}
+	noise := root.Derive(2, uint64(cfg.WorkerID))
+	attackRng := root.Derive(3, uint64(cfg.WorkerID))
+	grad := make([]float64, cfg.Model.Dim())
+	clipBuf := make([]float64, cfg.Model.Dim())
+	var momentum []float64
+	if cfg.Momentum > 0 {
+		momentum = make([]float64, cfg.Model.Dim())
+	}
+
+	res := &WorkerResult{}
+	for {
+		env, err := c.receive(time.Time{})
+		if err != nil {
+			if ctx.Err() != nil {
+				return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
+			}
+			return res, fmt.Errorf("cluster: worker %d receive: %w", cfg.WorkerID, err)
+		}
+		if env.Params == nil {
+			return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ErrBadMessage)
+		}
+		params := *env.Params
+		res.FinalParams = params.Weights
+		if params.Done {
+			return res, nil
+		}
+
+		if cfg.RoundDelay > 0 {
+			select {
+			case <-ctx.Done():
+				return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
+			case <-time.After(cfg.RoundDelay):
+			}
+		}
+		batch := batcher.Next()
+		if momentum != nil && !cfg.MomentumPostNoise {
+			// Paper pipeline: momentum over raw gradients, then clip, then
+			// noise (the clip bounds every submission to G_max).
+			cfg.Model.Gradient(grad, params.Weights, batch)
+			for j := range momentum {
+				momentum[j] = cfg.Momentum*momentum[j] + grad[j]
+			}
+			copy(grad, momentum)
+			if cfg.ClipNorm > 0 {
+				vecmath.ClipL2(grad, cfg.ClipNorm)
+			}
+			if cfg.Mechanism != nil {
+				cfg.Mechanism.Perturb(grad, noise)
+				if cfg.Accountant != nil {
+					cfg.Accountant.Record()
+				}
+			}
+		} else {
+			// Theory pipeline: per-sample clipping keeps the 2*Gmax/b
+			// sensitivity assumption exact.
+			model.ClippedGradient(cfg.Model, grad, clipBuf, params.Weights, batch, cfg.ClipNorm)
+			if cfg.Mechanism != nil {
+				cfg.Mechanism.Perturb(grad, noise)
+				if cfg.Accountant != nil {
+					cfg.Accountant.Record()
+				}
+			}
+			if momentum != nil {
+				for j := range momentum {
+					momentum[j] = cfg.Momentum*momentum[j] + grad[j]
+				}
+				copy(grad, momentum)
+			}
+		}
+		submission := grad
+		if cfg.Attack != nil {
+			crafted, err := cfg.Attack.Craft([][]float64{grad}, attackRng)
+			if err != nil {
+				return res, fmt.Errorf("cluster: worker %d attack: %w", cfg.WorkerID, err)
+			}
+			submission = crafted
+		}
+
+		msg := Gradient{WorkerID: cfg.WorkerID, Step: params.Step, Grad: submission}
+		if err := c.send(envelope{Gradient: &msg}, time.Now().Add(dialTimeout)); err != nil {
+			return res, fmt.Errorf("cluster: worker %d send: %w", cfg.WorkerID, err)
+		}
+		res.Rounds++
+		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
+			return res, nil
+		}
+	}
+}

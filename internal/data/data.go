@@ -1,0 +1,130 @@
+// Package data is the dataset substrate. It provides the deterministic
+// synthetic stand-in for the paper's phishing dataset (see DESIGN.md §1),
+// a LIBSVM parser so the real file can be used when available, the Gaussian
+// mean-estimation distribution used by Theorem 1's lower bound, and the
+// batch-sampling machinery the workers use each SGD step.
+package data
+
+import (
+	"errors"
+	"fmt"
+
+	"dpbyz/internal/randx"
+)
+
+// Point is one labelled example: a dense feature vector and a binary label
+// in {0, 1} (or a real target for regression tasks).
+type Point struct {
+	X []float64
+	Y float64
+}
+
+// Dataset is an immutable-by-convention collection of points sharing a
+// feature dimension.
+type Dataset struct {
+	points []Point
+	dim    int
+}
+
+// ErrEmptyDataset is returned by operations that need at least one point.
+var ErrEmptyDataset = errors.New("data: empty dataset")
+
+// New builds a dataset from points, validating dimensional consistency.
+func New(points []Point) (*Dataset, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	d := len(points[0].X)
+	for i, p := range points {
+		if len(p.X) != d {
+			return nil, fmt.Errorf("data: point %d has dim %d, want %d", i, len(p.X), d)
+		}
+	}
+	return &Dataset{points: points, dim: d}, nil
+}
+
+// Len returns the number of points.
+func (ds *Dataset) Len() int { return len(ds.points) }
+
+// Dim returns the feature dimension.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+// Point returns the i-th point. The returned struct shares the underlying
+// feature slice; callers must not mutate it.
+func (ds *Dataset) Point(i int) Point { return ds.points[i] }
+
+// Points returns the backing slice. Callers must treat it as read-only.
+func (ds *Dataset) Points() []Point { return ds.points }
+
+// Subset returns a dataset view over the given indices.
+func (ds *Dataset) Subset(idx []int) (*Dataset, error) {
+	if len(idx) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	pts := make([]Point, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(ds.points) {
+			return nil, fmt.Errorf("data: index %d out of range [0, %d)", j, len(ds.points))
+		}
+		pts[i] = ds.points[j]
+	}
+	return &Dataset{points: pts, dim: ds.dim}, nil
+}
+
+// Split partitions the dataset into a training set with trainN points and a
+// test set with the remainder, after a deterministic shuffle driven by rng.
+// This mirrors the paper's 8 400 / 2 655 split of the phishing data.
+func (ds *Dataset) Split(trainN int, rng *randx.Stream) (train, test *Dataset, err error) {
+	n := ds.Len()
+	if trainN <= 0 || trainN >= n {
+		return nil, nil, fmt.Errorf("data: train size %d out of range (0, %d)", trainN, n)
+	}
+	perm := rng.Perm(n)
+	trainIdx, testIdx := perm[:trainN], perm[trainN:]
+	train, err = ds.Subset(trainIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = ds.Subset(testIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// Batcher draws uniform batches (without replacement within a batch) from a
+// dataset, one independent sampler per worker.
+type Batcher struct {
+	ds  *Dataset
+	rng *randx.Stream
+	idx []int
+}
+
+// NewBatcher returns a batcher of the given batch size. The batch size is
+// capped at the dataset size.
+func NewBatcher(ds *Dataset, batchSize int, rng *randx.Stream) (*Batcher, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("data: batch size %d must be positive", batchSize)
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	return &Batcher{ds: ds, rng: rng, idx: make([]int, batchSize)}, nil
+}
+
+// Next returns the next random batch. The returned points are views into
+// the dataset and valid until the dataset is released.
+func (b *Batcher) Next() []Point {
+	b.rng.Sample(b.idx, b.ds.Len())
+	batch := make([]Point, len(b.idx))
+	for i, j := range b.idx {
+		batch[i] = b.ds.points[j]
+	}
+	return batch
+}
+
+// BatchSize returns the (possibly capped) batch size.
+func (b *Batcher) BatchSize() int { return len(b.idx) }

@@ -1,0 +1,68 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseLIBSVM reads a dataset in LIBSVM sparse format:
+//
+//	<label> <index1>:<value1> <index2>:<value2> ...
+//
+// Indices are 1-based. dim fixes the dense feature dimension; features with
+// index > dim are rejected. Labels are mapped to {0, 1}: any label <= 0
+// (the phishing file uses 0/1; other files use -1/+1) becomes 0, anything
+// positive becomes 1. This is the loader to use with the real phishing
+// dataset from the LIBSVM repository.
+func ParseLIBSVM(r io.Reader, dim int) (*Dataset, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("data: non-positive dim %d", dim)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pts []Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		y := 0.0
+		if label > 0 {
+			y = 1
+		}
+		x := make([]float64, dim)
+		for _, f := range fields[1:] {
+			k := strings.IndexByte(f, ':')
+			if k < 0 {
+				return nil, fmt.Errorf("data: line %d: malformed feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:k])
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad index %q: %w", lineNo, f[:k], err)
+			}
+			if idx < 1 || idx > dim {
+				return nil, fmt.Errorf("data: line %d: index %d out of range [1, %d]", lineNo, idx, dim)
+			}
+			val, err := strconv.ParseFloat(f[k+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad value %q: %w", lineNo, f[k+1:], err)
+			}
+			x[idx-1] = val
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: scan: %w", err)
+	}
+	return New(pts)
+}

@@ -1,0 +1,38 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLIBSVM asserts the parser never panics and that every accepted
+// dataset is structurally sound (consistent dims, binary labels).
+func FuzzParseLIBSVM(f *testing.F) {
+	f.Add("1 1:0.5 3:-1\n0 2:1\n", 3)
+	f.Add("-1 1:0.25\n", 2)
+	f.Add("# comment\n\n1 1:1e-3\n", 1)
+	f.Add("1 1:0.5 1:0.7\n", 1) // duplicate index: last wins, still valid
+	f.Add("bogus\n", 4)
+	f.Add("1 0:1\n", 4)
+	f.Fuzz(func(t *testing.T, src string, dim int) {
+		if dim < 1 || dim > 64 {
+			dim = 8
+		}
+		ds, err := ParseLIBSVM(strings.NewReader(src), dim)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if ds.Dim() != dim {
+			t.Fatalf("accepted dataset dim %d, want %d", ds.Dim(), dim)
+		}
+		for i := 0; i < ds.Len(); i++ {
+			p := ds.Point(i)
+			if len(p.X) != dim {
+				t.Fatalf("point %d has dim %d", i, len(p.X))
+			}
+			if p.Y != 0 && p.Y != 1 {
+				t.Fatalf("point %d label %v not binary", i, p.Y)
+			}
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements privacy amplification by subsampling, one of the
+// paper's suggested future directions for weakening the d-dependence
+// (§7 mentions shuffling-based amplification; subsampling is the
+// batch-level counterpart already implicit in SGD's minibatch sampling).
+
+// AmplifyBySampling returns the effective privacy parameters of running an
+// (ε, δ)-DP mechanism on a uniformly subsampled q-fraction of the data
+// (0 < q <= 1): ε' = ln(1 + q·(e^ε − 1)), δ' = q·δ
+// (Balle, Barthe & Gaboardi 2018, the standard subsampling lemma).
+func AmplifyBySampling(b Budget, q float64) (Budget, error) {
+	if err := b.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if !(q > 0 && q <= 1) {
+		return Budget{}, fmt.Errorf("dp: sampling fraction %v outside (0, 1]", q)
+	}
+	return Budget{
+		Epsilon: math.Log1p(q * (math.Exp(b.Epsilon) - 1)),
+		Delta:   q * b.Delta,
+	}, nil
+}
+
+// SamplingFractionForBudget inverts AmplifyBySampling on ε: it returns the
+// largest sampling fraction q such that an (epsMech, δ)-DP mechanism run on
+// a q-subsample satisfies epsTarget-DP. It returns an error when even
+// q → 0 cannot reach the target (epsTarget <= 0) or no subsampling is
+// needed (epsTarget >= epsMech, where q = 1 is returned).
+func SamplingFractionForBudget(epsMech, epsTarget float64) (float64, error) {
+	if epsMech <= 0 {
+		return 0, fmt.Errorf("dp: non-positive mechanism epsilon %v", epsMech)
+	}
+	if epsTarget <= 0 {
+		return 0, fmt.Errorf("dp: non-positive target epsilon %v", epsTarget)
+	}
+	if epsTarget >= epsMech {
+		return 1, nil
+	}
+	return (math.Exp(epsTarget) - 1) / (math.Exp(epsMech) - 1), nil
+}

@@ -1,0 +1,95 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmplifyBySampling(t *testing.T) {
+	b := Budget{Epsilon: 0.5, Delta: 1e-6}
+	out, err := AmplifyBySampling(b, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEps := math.Log1p(0.1 * (math.Exp(0.5) - 1))
+	if math.Abs(out.Epsilon-wantEps) > 1e-15 {
+		t.Errorf("epsilon = %v, want %v", out.Epsilon, wantEps)
+	}
+	if math.Abs(out.Delta-1e-7) > 1e-20 {
+		t.Errorf("delta = %v, want 1e-7", out.Delta)
+	}
+}
+
+func TestAmplifyBySamplingFullFractionIsIdentity(t *testing.T) {
+	b := Budget{Epsilon: 0.3, Delta: 1e-6}
+	out, err := AmplifyBySampling(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Epsilon-b.Epsilon) > 1e-12 || out.Delta != b.Delta {
+		t.Errorf("q=1 changed the budget: %+v", out)
+	}
+}
+
+func TestAmplifyBySamplingValidation(t *testing.T) {
+	b := Budget{Epsilon: 0.3, Delta: 1e-6}
+	if _, err := AmplifyBySampling(b, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := AmplifyBySampling(b, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, err := AmplifyBySampling(Budget{}, 0.5); err == nil {
+		t.Error("invalid budget accepted")
+	}
+}
+
+// Property: amplification strictly tightens the budget for q < 1 and is
+// monotone in q.
+func TestAmplifyMonotonicity(t *testing.T) {
+	f := func(eRaw, qRaw uint8) bool {
+		eps := 0.05 + 0.9*float64(eRaw)/255
+		q := 0.05 + 0.9*float64(qRaw)/255
+		b := Budget{Epsilon: eps, Delta: 1e-6}
+		amp, err := AmplifyBySampling(b, q)
+		if err != nil {
+			return false
+		}
+		if amp.Epsilon >= b.Epsilon {
+			return false
+		}
+		smaller, err := AmplifyBySampling(b, q/2)
+		if err != nil {
+			return false
+		}
+		return smaller.Epsilon < amp.Epsilon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplingFractionForBudget(t *testing.T) {
+	q, err := SamplingFractionForBudget(1.0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip: amplifying with q must land on the target.
+	amp, err := AmplifyBySampling(Budget{Epsilon: 1.0 - 1e-12, Delta: 1e-6}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(amp.Epsilon-0.2) > 1e-9 {
+		t.Errorf("round trip epsilon = %v, want 0.2", amp.Epsilon)
+	}
+	if q2, err := SamplingFractionForBudget(0.5, 0.5); err != nil || q2 != 1 {
+		t.Errorf("no-op case = %v, %v", q2, err)
+	}
+	if _, err := SamplingFractionForBudget(0, 0.1); err == nil {
+		t.Error("zero mechanism epsilon accepted")
+	}
+	if _, err := SamplingFractionForBudget(0.5, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}

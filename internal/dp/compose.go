@@ -1,0 +1,98 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// BasicComposition returns the total budget after t releases at per-step
+// budget b, under the classical composition theorem: budgets add linearly
+// (Dwork & Roth, Thm 3.16). The result can exceed the (0, 1)² region; the
+// returned Budget is therefore reported but not validated.
+func BasicComposition(b Budget, t int) (Budget, error) {
+	if err := b.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if t <= 0 {
+		return Budget{}, fmt.Errorf("dp: non-positive step count %d", t)
+	}
+	return Budget{Epsilon: float64(t) * b.Epsilon, Delta: float64(t) * b.Delta}, nil
+}
+
+// AdvancedComposition returns the total (ε', tδ + δ') budget after t
+// releases at per-step budget b, for a chosen slack δ' (Dwork & Roth,
+// Thm 3.20): ε' = ε·√(2t·ln(1/δ')) + t·ε·(e^ε − 1).
+func AdvancedComposition(b Budget, t int, deltaSlack float64) (Budget, error) {
+	if err := b.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if t <= 0 {
+		return Budget{}, fmt.Errorf("dp: non-positive step count %d", t)
+	}
+	if !(deltaSlack > 0 && deltaSlack < 1) {
+		return Budget{}, fmt.Errorf("dp: delta slack %v must be in (0, 1)", deltaSlack)
+	}
+	tf := float64(t)
+	eps := b.Epsilon*math.Sqrt(2*tf*math.Log(1/deltaSlack)) +
+		tf*b.Epsilon*(math.Exp(b.Epsilon)-1)
+	return Budget{Epsilon: eps, Delta: tf*b.Delta + deltaSlack}, nil
+}
+
+// Accountant tracks the cumulative privacy cost of a training run. It is
+// safe for concurrent use (workers may report steps in parallel).
+type Accountant struct {
+	mu      sync.Mutex
+	perStep Budget
+	steps   int
+}
+
+// NewAccountant returns an accountant for runs whose every step spends the
+// given per-step budget.
+func NewAccountant(perStep Budget) (*Accountant, error) {
+	if err := perStep.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{perStep: perStep}, nil
+}
+
+// Record accounts for one more private release.
+func (a *Accountant) Record() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.steps++
+}
+
+// Steps returns the number of recorded releases.
+func (a *Accountant) Steps() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.steps
+}
+
+// Basic returns the total budget under basic composition, or the zero
+// budget when no steps have been recorded.
+func (a *Accountant) Basic() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.steps == 0 {
+		return Budget{}
+	}
+	total, err := BasicComposition(a.perStep, a.steps)
+	if err != nil {
+		// Unreachable: perStep was validated at construction and steps > 0.
+		return Budget{}
+	}
+	return total
+}
+
+// Advanced returns the total budget under advanced composition with the
+// given slack, or an error for an invalid slack or zero steps.
+func (a *Accountant) Advanced(deltaSlack float64) (Budget, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.steps == 0 {
+		return Budget{}, fmt.Errorf("dp: no steps recorded")
+	}
+	return AdvancedComposition(a.perStep, a.steps, deltaSlack)
+}

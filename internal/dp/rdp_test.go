@@ -1,0 +1,166 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRDPAccountantConstruction(t *testing.T) {
+	if _, err := NewRDPAccountant(0); err == nil {
+		t.Error("zero multiplier did not error")
+	}
+	a, err := NewRDPAccountant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NoiseMultiplier() != 2 {
+		t.Errorf("multiplier = %v", a.NoiseMultiplier())
+	}
+}
+
+func TestRDPAccountantForGradient(t *testing.T) {
+	bud := Budget{Epsilon: 0.2, Delta: 1e-6}
+	a, err := NewRDPAccountantForGradient(bud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2*math.Log(1.25/1e-6)) / 0.2
+	if math.Abs(a.NoiseMultiplier()-want) > 1e-12 {
+		t.Errorf("multiplier = %v, want %v", a.NoiseMultiplier(), want)
+	}
+	if _, err := NewRDPAccountantForGradient(Budget{}); err == nil {
+		t.Error("invalid budget did not error")
+	}
+}
+
+func TestRDPValue(t *testing.T) {
+	a, err := NewRDPAccountant(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record(10)
+	got, err := a.RDP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 * 2 / (2*9).
+	if want := 10.0 / 9.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RDP = %v, want %v", got, want)
+	}
+	if _, err := a.RDP(1); err == nil {
+		t.Error("alpha = 1 did not error")
+	}
+}
+
+func TestRDPEpsilonValidation(t *testing.T) {
+	a, err := NewRDPAccountant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Epsilon(1e-6); err == nil {
+		t.Error("zero steps did not error")
+	}
+	a.Record(1)
+	if _, err := a.Epsilon(0); err == nil {
+		t.Error("delta = 0 did not error")
+	}
+	if _, err := a.Epsilon(1); err == nil {
+		t.Error("delta = 1 did not error")
+	}
+}
+
+func TestRDPRecordIgnoresNonPositive(t *testing.T) {
+	a, err := NewRDPAccountant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record(-5)
+	a.Record(0)
+	if a.Steps() != 0 {
+		t.Errorf("Steps = %d", a.Steps())
+	}
+	a.Record(3)
+	if a.Steps() != 3 {
+		t.Errorf("Steps = %d", a.Steps())
+	}
+}
+
+// The headline property: for many steps, RDP accounting must beat both
+// basic and advanced composition, and for a single step it must be close
+// to (and never wildly above) the calibrated per-step epsilon.
+func TestRDPTighterThanClassicalComposition(t *testing.T) {
+	perStep := Budget{Epsilon: 0.2, Delta: 1e-6}
+	const steps = 1000
+
+	rdp, err := NewRDPAccountantForGradient(perStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp.Record(steps)
+	rdpEps, err := rdp.Epsilon(perStep.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := BasicComposition(perStep, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := AdvancedComposition(perStep, steps, perStep.Delta/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdpEps >= adv.Epsilon {
+		t.Errorf("RDP eps %v not below advanced %v", rdpEps, adv.Epsilon)
+	}
+	if rdpEps >= basic.Epsilon {
+		t.Errorf("RDP eps %v not below basic %v", rdpEps, basic.Epsilon)
+	}
+}
+
+// Property: the RDP epsilon is monotone in the number of steps and in the
+// inverse noise multiplier.
+func TestRDPMonotonicity(t *testing.T) {
+	f := func(kRaw uint8, mRaw uint8) bool {
+		k := int(kRaw)%100 + 1
+		m := 1 + float64(mRaw)/16
+		a1, err1 := NewRDPAccountant(m)
+		a2, err2 := NewRDPAccountant(m)
+		a3, err3 := NewRDPAccountant(m * 2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		a1.Record(k)
+		a2.Record(k + 10)
+		a3.Record(k)
+		e1, err1 := a1.Epsilon(1e-6)
+		e2, err2 := a2.Epsilon(1e-6)
+		e3, err3 := a3.Epsilon(1e-6)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// More steps: more spend. More noise: less spend.
+		return e2 > e1 && e3 < e1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRDPTotalBudget(t *testing.T) {
+	a, err := NewRDPAccountant(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record(100)
+	b, err := a.TotalBudget(1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Delta != 1e-5 || b.Epsilon <= 0 {
+		t.Errorf("TotalBudget = %+v", b)
+	}
+	if _, err := a.TotalBudget(0); err == nil {
+		t.Error("bad delta did not error")
+	}
+}

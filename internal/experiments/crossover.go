@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dpbyz/internal/data"
+)
+
+// CrossoverSpec configures the batch-size crossover sweep behind the
+// paper's §5.2 takeaway: the batch size at which DP and Byzantine
+// resilience can be combined (500) is ~10× the one at which either works
+// alone (50) and ~50× the one sufficient for plain convergence (10).
+type CrossoverSpec struct {
+	// BatchSizes is the b grid (default {10, 25, 50, 100, 250, 500}).
+	BatchSizes []int
+	// AttackName is the attack of the combined cell (default "alie").
+	AttackName string
+	// Epsilon is the DP parameter (default 0.2).
+	Epsilon float64
+	// Tolerance is the relative accuracy loss (vs the clean baseline at the
+	// same b) below which a condition counts as "working" (default 0.05).
+	Tolerance float64
+	Scale     Scale
+}
+
+func (s *CrossoverSpec) fillDefaults() {
+	if len(s.BatchSizes) == 0 {
+		s.BatchSizes = []int{10, 25, 50, 100, 250, 500}
+	}
+	if s.AttackName == "" {
+		s.AttackName = "alie"
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = PaperEpsilon
+	}
+	if s.Tolerance == 0 {
+		s.Tolerance = 0.05
+	}
+}
+
+// CrossoverPoint is one batch size's measurement of the three regimes.
+type CrossoverPoint struct {
+	BatchSize int
+	// BaselineAcc is the clean (no DP, no attack) final accuracy.
+	BaselineAcc float64
+	// DPOnlyAcc, AttackOnlyAcc and CombinedAcc are the final accuracies of
+	// the DP-only, attack-only and DP+attack conditions.
+	DPOnlyAcc     float64
+	AttackOnlyAcc float64
+	CombinedAcc   float64
+	// DPOnlyOK/AttackOnlyOK/CombinedOK report whether each condition is
+	// within Tolerance of the baseline.
+	DPOnlyOK     bool
+	AttackOnlyOK bool
+	CombinedOK   bool
+}
+
+// CrossoverResult is the sweep plus the three crossover batch sizes
+// (-1 when never reached on the grid).
+type CrossoverResult struct {
+	Points []CrossoverPoint
+	// MinBatchDPOnly is the smallest b where the DP-only condition works.
+	MinBatchDPOnly int
+	// MinBatchAttackOnly is the smallest b where attack-only works.
+	MinBatchAttackOnly int
+	// MinBatchCombined is the smallest b where DP+attack works — the
+	// paper's antagonism gap is MinBatchCombined / MinBatchDPOnly.
+	MinBatchCombined int
+}
+
+// RunCrossover sweeps the batch-size grid and locates the three crossover
+// points.
+func RunCrossover(ctx context.Context, spec CrossoverSpec) (*CrossoverResult, error) {
+	spec.fillDefaults()
+	trainN := spec.Scale.datasetSize() * data.PhishingTrainSize / data.PhishingSize
+	res := &CrossoverResult{
+		MinBatchDPOnly:     -1,
+		MinBatchAttackOnly: -1,
+		MinBatchCombined:   -1,
+	}
+	for _, b := range spec.BatchSizes {
+		fig := FigureSpec{ID: "crossover", BatchSize: b, Epsilon: spec.Epsilon, Scale: spec.Scale}
+		point := CrossoverPoint{BatchSize: b}
+
+		cells := []struct {
+			cond Condition
+			acc  *float64
+		}{
+			{Condition{Label: "none+clear"}, &point.BaselineAcc},
+			{Condition{Label: "none+dp", DP: true}, &point.DPOnlyAcc},
+			{Condition{Label: spec.AttackName + "+clear", AttackName: spec.AttackName}, &point.AttackOnlyAcc},
+			{Condition{Label: spec.AttackName + "+dp", AttackName: spec.AttackName, DP: true}, &point.CombinedAcc},
+		}
+		for _, c := range cells {
+			cell, err := runCell(ctx, fig, c.cond, trainN)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: crossover b=%d %s: %w", b, c.cond.Label, err)
+			}
+			*c.acc = cell.FinalAccMean
+		}
+		threshold := point.BaselineAcc * (1 - spec.Tolerance)
+		point.DPOnlyOK = point.DPOnlyAcc >= threshold
+		point.AttackOnlyOK = point.AttackOnlyAcc >= threshold
+		point.CombinedOK = point.CombinedAcc >= threshold
+		if point.DPOnlyOK && res.MinBatchDPOnly < 0 {
+			res.MinBatchDPOnly = b
+		}
+		if point.AttackOnlyOK && res.MinBatchAttackOnly < 0 {
+			res.MinBatchAttackOnly = b
+		}
+		if point.CombinedOK && res.MinBatchCombined < 0 {
+			res.MinBatchCombined = b
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// smokeScale keeps experiment tests fast while exercising the full path.
+func smokeScale() Scale {
+	return Scale{Steps: 60, Seeds: 2, DatasetSize: 800, Features: 10}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid()
+	if len(g) != 6 {
+		t.Fatalf("grid has %d conditions", len(g))
+	}
+	labels := map[string]bool{}
+	for _, c := range g {
+		if labels[c.Label] {
+			t.Errorf("duplicate label %q", c.Label)
+		}
+		labels[c.Label] = true
+	}
+	for _, want := range []string{"none+clear", "none+dp", "alie+clear", "alie+dp", "foe+clear", "foe+dp"} {
+		if !labels[want] {
+			t.Errorf("missing condition %q", want)
+		}
+	}
+}
+
+func TestFigureSpecs(t *testing.T) {
+	if Figure2(Scale{}).BatchSize != 50 {
+		t.Error("fig2 batch != 50")
+	}
+	if Figure3(Scale{}).BatchSize != 10 {
+		t.Error("fig3 batch != 10")
+	}
+	if Figure4(Scale{}).BatchSize != 500 {
+		t.Error("fig4 batch != 500")
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	var s Scale
+	if s.steps() != PaperSteps || s.seeds() != PaperSeeds {
+		t.Errorf("zero scale = %d steps, %d seeds", s.steps(), s.seeds())
+	}
+	s = Scale{Steps: 10, Seeds: 2, DatasetSize: 100, Features: 5}
+	if s.steps() != 10 || s.seeds() != 2 || s.datasetSize() != 100 || s.features() != 5 {
+		t.Error("overrides ignored")
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	spec := Figure2(smokeScale())
+	res, err := RunFigure(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Loss == nil || len(c.Loss.Mean) != 60 {
+			t.Errorf("%s: bad loss series", c.Condition.Label)
+		}
+		if c.MinLossMean < 0 {
+			t.Errorf("%s: negative loss", c.Condition.Label)
+		}
+		if c.FinalAccMean < 0 || c.FinalAccMean > 1 {
+			t.Errorf("%s: accuracy %v out of range", c.Condition.Label, c.FinalAccMean)
+		}
+	}
+	if got := res.Cell("alie+dp"); got == nil {
+		t.Error("Cell lookup failed")
+	}
+	if got := res.Cell("nope"); got != nil {
+		t.Error("Cell lookup for unknown label returned non-nil")
+	}
+	// The unattacked clear baseline must converge decently even at smoke
+	// scale.
+	if base := res.Cell("none+clear"); base.FinalAccMean < 0.75 {
+		t.Errorf("baseline accuracy %v too low", base.FinalAccMean)
+	}
+	var sb strings.Builder
+	if err := WriteFigureReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig2") || !strings.Contains(sb.String(), "alie+dp") {
+		t.Errorf("report missing content:\n%s", sb.String())
+	}
+	if s := Summary(res); !strings.Contains(s, "fig2") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestRunFigureTooSmallDataset(t *testing.T) {
+	spec := Figure2(Scale{DatasetSize: 1, Steps: 1, Seeds: 1, Features: 2})
+	if _, err := RunFigure(context.Background(), spec); err == nil {
+		t.Error("tiny dataset did not error")
+	}
+}
+
+func TestRunTheorem1ShowsLinearDimDependence(t *testing.T) {
+	spec := Theorem1Spec{
+		Dims:        []int{4, 64},
+		Steps:       150,
+		BatchSize:   10,
+		Seeds:       2,
+		DatasetSize: 1500,
+	}
+	points, err := RunTheorem1(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	// With DP, error must grow markedly with d; without, it must not.
+	if large.ErrDP <= small.ErrDP*4 {
+		t.Errorf("DP error did not scale with d: %v -> %v (16x dim)", small.ErrDP, large.ErrDP)
+	}
+	if large.ErrClear > small.ErrClear*4 && large.ErrClear > 1e-4 {
+		t.Errorf("clear error scaled with d: %v -> %v", small.ErrClear, large.ErrClear)
+	}
+	// And at every d, DP hurts.
+	for _, p := range points {
+		if p.ErrDP <= p.ErrClear {
+			t.Errorf("d=%d: DP error %v not above clear %v", p.Dim, p.ErrDP, p.ErrClear)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTheorem1Report(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "err-dp") {
+		t.Error("theorem1 report missing header")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1(Table1Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// At ResNet-50 scale every condition must fail with b = 50 and
+	// f/n = 5/23.
+	resnet := res[len(res)-1]
+	if resnet.Dim != 25_600_000 {
+		t.Fatalf("last dim = %d", resnet.Dim)
+	}
+	for _, row := range resnet.Rows {
+		if row.Satisfied {
+			t.Errorf("rule %s satisfied at ResNet-50 scale", row.Rule)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTable1Report(&sb, res, 50, 5.0/23); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "krum") {
+		t.Error("table1 report missing rules")
+	}
+}
+
+func TestRunEpsilonSweep(t *testing.T) {
+	points, err := RunEpsilonSweep(context.Background(), EpsilonSweepSpec{
+		Epsilons: []float64{0.1, 0.9},
+		Scale:    smokeScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// More privacy (smaller eps) must not help the loss.
+	if points[0].MinLossMean < points[1].MinLossMean*0.5 {
+		t.Errorf("eps=0.1 loss %v unexpectedly far below eps=0.9 loss %v",
+			points[0].MinLossMean, points[1].MinLossMean)
+	}
+	var sb strings.Builder
+	if err := WriteEpsilonSweepReport(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "epsilon") {
+		t.Error("sweep report missing header")
+	}
+}
+
+func TestRunVNEmpirical(t *testing.T) {
+	points, err := RunVNEmpirical(context.Background(), VNEmpiricalSpec{
+		BatchSizes:  []int{10, 2000},
+		Samples:     32,
+		DatasetSize: 3000,
+		Features:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	// The DP-adjusted ratio must dominate the clear ratio and shrink with b.
+	for _, p := range points {
+		if p.RatioDP <= p.RatioClear {
+			t.Errorf("b=%d: DP ratio %v not above clear %v", p.BatchSize, p.RatioDP, p.RatioClear)
+		}
+	}
+	if large.RatioDP >= small.RatioDP {
+		t.Errorf("DP ratio did not shrink with batch: %v -> %v", small.RatioDP, large.RatioDP)
+	}
+	// MDA (the most tolerant rule) must fail the condition at b=10.
+	if small.Holds["mda"] {
+		t.Error("MDA condition holds at b=10 under DP; should fail")
+	}
+	var sb strings.Builder
+	if err := WriteVNEmpiricalReport(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "vn-dp") || !strings.Contains(sb.String(), "mda") {
+		t.Errorf("report missing content:\n%s", sb.String())
+	}
+	if err := WriteVNEmpiricalReport(&sb, nil); err != nil {
+		t.Errorf("empty report errored: %v", err)
+	}
+}
+
+func TestRunVNEmpiricalNoAdmissibleRule(t *testing.T) {
+	if _, err := RunVNEmpirical(context.Background(), VNEmpiricalSpec{
+		Workers: 3, Byzantine: 2, BatchSizes: []int{10}, Samples: 4,
+		DatasetSize: 100, Features: 4,
+	}); err == nil {
+		t.Error("expected error when no rule admits (n, f)")
+	}
+}
+
+func TestRunFigureMLP(t *testing.T) {
+	spec := FigureMLP(Scale{Steps: 40, Seeds: 1, DatasetSize: 600, Features: 8})
+	res, err := RunFigure(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Loss.Mean) != 40 {
+			t.Errorf("%s: loss series length %d", c.Condition.Label, len(c.Loss.Mean))
+		}
+	}
+}
+
+func TestRunCrossover(t *testing.T) {
+	res, err := RunCrossover(context.Background(), CrossoverSpec{
+		BatchSizes: []int{10, 400},
+		Scale:      Scale{Steps: 150, Seeds: 1, DatasetSize: 1500, Features: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The combined condition must work at b=400 but not at b=10 on this
+	// small task — the paper's antagonism gap in miniature.
+	if res.Points[0].CombinedOK {
+		t.Error("combined condition unexpectedly works at b=10")
+	}
+	if res.MinBatchCombined != 400 {
+		t.Errorf("combined crossover = %d, want 400", res.MinBatchCombined)
+	}
+	// Either defence alone already works at the small batch.
+	if !res.Points[0].DPOnlyOK || !res.Points[0].AttackOnlyOK {
+		t.Error("single defences should work at b=10")
+	}
+	var sb strings.Builder
+	if err := WriteCrossoverReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "crossovers") {
+		t.Errorf("report missing summary:\n%s", sb.String())
+	}
+}
+
+func TestTheorem1BatchSweepQuadratic(t *testing.T) {
+	spec := Theorem1Spec{
+		Dims: []int{32}, Steps: 150, Seeds: 3, DatasetSize: 2000,
+	}
+	points, err := RunTheorem1BatchSweep(context.Background(), spec, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// 4x the batch: Theorem 1 predicts ~16x less error (d·s² ∝ 1/b²).
+	ratio := points[0].ErrDP / points[1].ErrDP
+	if ratio < 6 {
+		t.Errorf("b-sweep ratio = %v, want clearly superlinear (>6)", ratio)
+	}
+}
+
+func TestTheorem1StepsSweepDecaying(t *testing.T) {
+	spec := Theorem1Spec{
+		Dims: []int{16}, BatchSize: 10, Seeds: 3, DatasetSize: 2000,
+	}
+	points, err := RunTheorem1StepsSweep(context.Background(), spec, []int{50, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// 8x the steps with the 1/t schedule: error must drop substantially
+	// (Theorem 1's O(1/T)).
+	if points[1].ErrDP >= points[0].ErrDP/3 {
+		t.Errorf("T-sweep: err(50) = %v, err(400) = %v; want >3x drop",
+			points[0].ErrDP, points[1].ErrDP)
+	}
+}

@@ -1,0 +1,96 @@
+package gar
+
+import (
+	"testing"
+
+	"dpbyz/internal/vecmath"
+)
+
+func TestCenteredClipConstruction(t *testing.T) {
+	if _, err := NewCenteredClip(11, 5); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := NewCenteredClip(10, 5); err == nil {
+		t.Error("2f = n accepted")
+	}
+	if _, err := NewCenteredClip(1, -1); err == nil {
+		t.Error("negative f accepted")
+	}
+}
+
+func TestCenteredClipMetadata(t *testing.T) {
+	g, err := NewCenteredClip(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "centeredclip" || g.N() != 5 || g.F() != 2 || g.KF() != 0 {
+		t.Errorf("metadata: %s %d %d %v", g.Name(), g.N(), g.F(), g.KF())
+	}
+}
+
+func TestCenteredClipPullsTowardHonestCenter(t *testing.T) {
+	const n, f = 11, 5
+	g, err := NewCenteredClip(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := cloudWithOutliers(n, f, 6, 1, 0.05, 200, 31)
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestMean, _ := vecmath.Mean(grads[f:])
+	if d := vecmath.Dist(out, honestMean); d > 1 {
+		t.Errorf("centeredclip drifted %v from honest mean", d)
+	}
+}
+
+func TestCenteredClipFixedRadius(t *testing.T) {
+	g, err := NewCenteredClip(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Radius = 1e9 // effectively no clipping: one iteration lands on the mean
+	g.Iters = 1
+	grads := randomCloud(17, 5, 3)
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := vecmath.Mean(grads)
+	if !vecmath.ApproxEqual(out, mean, 1e-9) {
+		t.Errorf("huge radius should reduce to the mean: %v vs %v", out, mean)
+	}
+}
+
+func TestCenteredClipIdenticalSubmissions(t *testing.T) {
+	g, err := NewCenteredClip(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := [][]float64{{2, -1}, {2, -1}, {2, -1}, {2, -1}}
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.ApproxEqual(out, []float64{2, -1}, 0) {
+		t.Errorf("identical submissions: %v", out)
+	}
+}
+
+func TestCenteredClipDefaultItersApplied(t *testing.T) {
+	g, err := NewCenteredClip(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Iters = 0 // must fall back to the default, not loop zero times
+	grads := cloudWithOutliers(5, 1, 3, 1, 0.05, 50, 33)
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestMean, _ := vecmath.Mean(grads[1:])
+	if d := vecmath.Dist(out, honestMean); d > 1 {
+		t.Errorf("zero-iters fallback drifted %v", d)
+	}
+}

@@ -1,0 +1,101 @@
+package gar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+// Robust aggregators of the statistically-robust family are equivariant
+// under translation and positive scaling of their inputs: F(X + v) =
+// F(X) + v and F(c·X) = c·F(X). These invariants catch a wide class of
+// implementation bugs (off-by-one trims, biased tie-breaking, etc.).
+
+func randomCloud(seed uint64, n, dim int) [][]float64 {
+	rng := randx.New(seed)
+	grads := make([][]float64, n)
+	for i := range grads {
+		grads[i] = rng.NormalVec(make([]float64, dim), 1)
+	}
+	return grads
+}
+
+func TestTranslationEquivariance(t *testing.T) {
+	rules := allRules(t, 9, 2)
+	f := func(seed uint64, shiftRaw [3]int8) bool {
+		grads := randomCloud(seed, 9, 3)
+		shift := []float64{float64(shiftRaw[0]), float64(shiftRaw[1]), float64(shiftRaw[2])}
+		shifted := make([][]float64, len(grads))
+		for i, g := range grads {
+			shifted[i] = vecmath.Add(g, shift)
+		}
+		for _, rule := range rules {
+			a, err1 := rule.Aggregate(grads)
+			b, err2 := rule.Aggregate(shifted)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !vecmath.ApproxEqual(vecmath.Add(a, shift), b, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositiveScaleEquivariance(t *testing.T) {
+	rules := allRules(t, 9, 2)
+	f := func(seed uint64, cRaw uint8) bool {
+		c := 0.1 + 4*float64(cRaw)/255
+		grads := randomCloud(seed, 9, 3)
+		scaled := make([][]float64, len(grads))
+		for i, g := range grads {
+			scaled[i] = vecmath.Scale(c, g)
+		}
+		for _, rule := range rules {
+			a, err1 := rule.Aggregate(grads)
+			b, err2 := rule.Aggregate(scaled)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !vecmath.ApproxEqual(vecmath.Scale(c, a), b, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Negation symmetry: for sign-symmetric rules, F(−X) = −F(X).
+func TestNegationEquivariance(t *testing.T) {
+	rules := allRules(t, 9, 2)
+	f := func(seed uint64) bool {
+		grads := randomCloud(seed, 9, 4)
+		negated := make([][]float64, len(grads))
+		for i, g := range grads {
+			negated[i] = vecmath.Scale(-1, g)
+		}
+		for _, rule := range rules {
+			a, err1 := rule.Aggregate(grads)
+			b, err2 := rule.Aggregate(negated)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !vecmath.ApproxEqual(vecmath.Scale(-1, a), b, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package gar
+
+import (
+	"testing"
+
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+func TestGeoMedConstruction(t *testing.T) {
+	if _, err := NewGeoMed(11, 5); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := NewGeoMed(10, 5); err == nil {
+		t.Error("2f = n accepted")
+	}
+	if _, err := NewGeoMed(0, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+func TestGeoMedOnSymmetricInput(t *testing.T) {
+	// The geometric median of a symmetric configuration is its center.
+	g, err := NewGeoMed(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := [][]float64{
+		{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+	}
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.ApproxEqual(out, []float64{0, 0}, 1e-6) {
+		t.Errorf("geomed of symmetric cross = %v, want origin", out)
+	}
+}
+
+func TestGeoMedRobustToOutliers(t *testing.T) {
+	// The geometric median has breakdown point 1/2: a minority of huge
+	// outliers must barely move it, unlike the mean.
+	const n, f = 11, 5
+	g, err := NewGeoMed(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := cloudWithOutliers(n, f, 8, 1, 0.01, 1000, 21)
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestMean, _ := vecmath.Mean(grads[f:])
+	if d := vecmath.Dist(out, honestMean); d > 1 {
+		t.Errorf("geomed drifted %v from honest mean", d)
+	}
+}
+
+func TestGeoMedMinimizesSumOfDistances(t *testing.T) {
+	// The output must achieve a lower (or equal) sum of distances than
+	// every input point and the coordinate-wise mean — the defining
+	// property of the geometric median, up to iteration tolerance.
+	g, err := NewGeoMed(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(5)
+	grads := make([][]float64, 7)
+	for i := range grads {
+		grads[i] = rng.NormalVec(make([]float64, 4), 1)
+	}
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumDist := func(y []float64) float64 {
+		var s float64
+		for _, x := range grads {
+			s += vecmath.Dist(x, y)
+		}
+		return s
+	}
+	got := sumDist(out)
+	mean, _ := vecmath.Mean(grads)
+	if got > sumDist(mean)+1e-6 {
+		t.Errorf("geomed cost %v exceeds mean cost %v", got, sumDist(mean))
+	}
+	for i, x := range grads {
+		if got > sumDist(x)+1e-6 {
+			t.Errorf("geomed cost %v exceeds input %d cost %v", got, i, sumDist(x))
+		}
+	}
+}
+
+func TestGeoMedInputValidationAndMetadata(t *testing.T) {
+	g, err := NewGeoMed(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "geomed" || g.N() != 3 || g.F() != 1 || g.KF() != 0 {
+		t.Errorf("metadata wrong: %s %d %d %v", g.Name(), g.N(), g.F(), g.KF())
+	}
+	if _, err := g.Aggregate([][]float64{{1}}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpbyz/internal/vecmath"
+)
+
+// krumEta returns the η(n, f) constant from the paper's Prop. 2 proof:
+// η = n − f + (f(n−f−2) + f²(n−f−1)) / (n − 2f − 2).
+func krumEta(n, f int) float64 {
+	nf, ff := float64(n), float64(f)
+	return nf - ff + (ff*(nf-ff-2)+ff*ff*(nf-ff-1))/(nf-2*ff-2)
+}
+
+// krumScores computes, for every gradient, the Krum score: the sum of
+// squared distances to its n − f − 2 nearest neighbours (self excluded).
+func krumScores(grads [][]float64, f int) []float64 {
+	n := len(grads)
+	dists := vecmath.PairwiseSqDists(grads)
+	k := n - f - 2
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dists[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, d := range row[:k] {
+			s += d
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// Krum is the rule of Blanchard et al. (2017): it outputs the single
+// gradient with the smallest Krum score. It requires n > 2f + 2 and the
+// paper lists k_F(n, f) = 1/√(2η(n, f)).
+type Krum struct {
+	n, f int
+}
+
+var _ GAR = (*Krum)(nil)
+
+// NewKrum returns the Krum rule.
+func NewKrum(n, f int) (*Krum, error) {
+	if err := checkNF(n, f); err != nil {
+		return nil, err
+	}
+	if n <= 2*f+2 {
+		return nil, fmt.Errorf("%w: krum needs n > 2f+2 (n=%d, f=%d)",
+			ErrBadByzantineCount, n, f)
+	}
+	return &Krum{n: n, f: f}, nil
+}
+
+// Name implements GAR.
+func (k *Krum) Name() string { return "krum" }
+
+// N implements GAR.
+func (k *Krum) N() int { return k.n }
+
+// F implements GAR.
+func (k *Krum) F() int { return k.f }
+
+// KF implements GAR: 1/√(2η(n, f)).
+func (k *Krum) KF() float64 { return 1 / math.Sqrt(2*krumEta(k.n, k.f)) }
+
+// Aggregate implements GAR.
+func (k *Krum) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := checkInputs(grads, k.n); err != nil {
+		return nil, err
+	}
+	scores := krumScores(grads, k.f)
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
+		}
+	}
+	return vecmath.Clone(grads[best]), nil
+}
+
+// MultiKrum averages the m gradients with the smallest Krum scores
+// (Blanchard et al. 2017, §4). With m = 1 it degenerates to Krum.
+type MultiKrum struct {
+	n, f, m int
+}
+
+var _ GAR = (*MultiKrum)(nil)
+
+// NewMultiKrum returns Multi-Krum selecting the m best-scored gradients.
+// The canonical choice is m = n − f − 2.
+func NewMultiKrum(n, f, m int) (*MultiKrum, error) {
+	if err := checkNF(n, f); err != nil {
+		return nil, err
+	}
+	if n <= 2*f+2 {
+		return nil, fmt.Errorf("%w: multi-krum needs n > 2f+2 (n=%d, f=%d)",
+			ErrBadByzantineCount, n, f)
+	}
+	if m < 1 || m > n-f-2 {
+		return nil, fmt.Errorf("gar: multi-krum m = %d out of range [1, %d]", m, n-f-2)
+	}
+	return &MultiKrum{n: n, f: f, m: m}, nil
+}
+
+// Name implements GAR.
+func (mk *MultiKrum) Name() string { return "multikrum" }
+
+// N implements GAR.
+func (mk *MultiKrum) N() int { return mk.n }
+
+// F implements GAR.
+func (mk *MultiKrum) F() int { return mk.f }
+
+// M returns the selection size.
+func (mk *MultiKrum) M() int { return mk.m }
+
+// KF implements GAR: Multi-Krum inherits Krum's constant.
+func (mk *MultiKrum) KF() float64 { return 1 / math.Sqrt(2*krumEta(mk.n, mk.f)) }
+
+// Aggregate implements GAR.
+func (mk *MultiKrum) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := checkInputs(grads, mk.n); err != nil {
+		return nil, err
+	}
+	selected := selectByScore(grads, krumScores(grads, mk.f), mk.m)
+	return vecmath.Mean(selected)
+}
+
+// selectByScore returns the m gradients with the smallest scores.
+func selectByScore(grads [][]float64, scores []float64, m int) [][]float64 {
+	idx := make([]int, len(grads))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	out := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = grads[idx[i]]
+	}
+	return out
+}
+
+// Bulyan is the rule of El Mhamdi et al. (2018): it first runs Krum
+// iteratively to select θ = n − 2f gradients, then outputs, per coordinate,
+// the average of the β = θ − 2f values closest to the coordinate-wise
+// median of the selection. It requires n ≥ 4f + 3 and shares Krum's
+// k_F(n, f) in the paper's Table 1.
+type Bulyan struct {
+	n, f int
+}
+
+var _ GAR = (*Bulyan)(nil)
+
+// NewBulyan returns the Bulyan rule.
+func NewBulyan(n, f int) (*Bulyan, error) {
+	if err := checkNF(n, f); err != nil {
+		return nil, err
+	}
+	if n < 4*f+3 {
+		return nil, fmt.Errorf("%w: bulyan needs n >= 4f+3 (n=%d, f=%d)",
+			ErrBadByzantineCount, n, f)
+	}
+	return &Bulyan{n: n, f: f}, nil
+}
+
+// Name implements GAR.
+func (b *Bulyan) Name() string { return "bulyan" }
+
+// N implements GAR.
+func (b *Bulyan) N() int { return b.n }
+
+// F implements GAR.
+func (b *Bulyan) F() int { return b.f }
+
+// KF implements GAR: the paper groups Bulyan with Krum.
+func (b *Bulyan) KF() float64 { return 1 / math.Sqrt(2*krumEta(b.n, b.f)) }
+
+// Aggregate implements GAR.
+func (b *Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := checkInputs(grads, b.n); err != nil {
+		return nil, err
+	}
+	theta := b.n - 2*b.f
+	beta := theta - 2*b.f
+	if beta < 1 {
+		beta = 1
+	}
+	// Selection phase: repeatedly pick the best Krum candidate among the
+	// remaining gradients, as long as the remaining count supports a Krum
+	// neighbourhood; fall back to minimum-norm selection for the tail.
+	remaining := make([][]float64, len(grads))
+	copy(remaining, grads)
+	selected := make([][]float64, 0, theta)
+	for len(selected) < theta {
+		var pick int
+		if len(remaining)-b.f-2 >= 1 {
+			scores := krumScores(remaining, b.f)
+			pick = 0
+			for i, s := range scores {
+				if s < scores[pick] {
+					pick = i
+				}
+			}
+		} else {
+			pick = 0
+			for i := 1; i < len(remaining); i++ {
+				if vecmath.SqNorm(remaining[i]) < vecmath.SqNorm(remaining[pick]) {
+					pick = i
+				}
+			}
+		}
+		selected = append(selected, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return vecmath.MeanAroundMedian(selected, beta)
+}

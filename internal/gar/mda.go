@@ -1,0 +1,211 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+
+	"dpbyz/internal/vecmath"
+)
+
+// DefaultMDAMaxEnumerate bounds the number of candidate subsets the exact
+// MDA search will enumerate before falling back to the greedy heuristic.
+// C(11, 5) = 462 for the paper's setting, far below this bound.
+const DefaultMDAMaxEnumerate = 200_000
+
+// MDA is minimum-diameter averaging (El Mhamdi et al. 2020): it outputs the
+// average of the (n − f)-subset of gradients with the smallest diameter
+// (maximum pairwise distance). The paper highlights MDA as the GAR with the
+// largest known VN-ratio bound, k_F(n, f) = (n − f)/(√8·f).
+//
+// Finding the minimum-diameter subset is combinatorial; MDA enumerates all
+// C(n, n−f) subsets when that count is at most MaxEnumerate and otherwise
+// uses a near-neighbourhood greedy heuristic (for each gradient, the
+// candidate subset of it plus its n−f−1 nearest neighbours).
+type MDA struct {
+	n, f int
+	// MaxEnumerate caps the exact search; exposed for the ablation bench.
+	MaxEnumerate int
+}
+
+var _ GAR = (*MDA)(nil)
+
+// NewMDA returns the MDA rule. It requires n > 2f (a majority of honest
+// workers), the standard condition for diameter-based filtering.
+func NewMDA(n, f int) (*MDA, error) {
+	if err := checkNF(n, f); err != nil {
+		return nil, err
+	}
+	if 2*f >= n {
+		return nil, fmt.Errorf("%w: mda needs 2f < n (n=%d, f=%d)",
+			ErrBadByzantineCount, n, f)
+	}
+	return &MDA{n: n, f: f, MaxEnumerate: DefaultMDAMaxEnumerate}, nil
+}
+
+// Name implements GAR.
+func (m *MDA) Name() string { return "mda" }
+
+// N implements GAR.
+func (m *MDA) N() int { return m.n }
+
+// F implements GAR.
+func (m *MDA) F() int { return m.f }
+
+// KF implements GAR: (n − f)/(√8·f); +Inf when f = 0 (nothing to tolerate).
+func (m *MDA) KF() float64 {
+	if m.f == 0 {
+		return math.Inf(1)
+	}
+	return float64(m.n-m.f) / (math.Sqrt(8) * float64(m.f))
+}
+
+// Aggregate implements GAR.
+func (m *MDA) Aggregate(grads [][]float64) ([]float64, error) {
+	if err := checkInputs(grads, m.n); err != nil {
+		return nil, err
+	}
+	if m.f == 0 {
+		return vecmath.Mean(grads)
+	}
+	dists := vecmath.PairwiseSqDists(grads)
+	k := m.n - m.f
+	var subset []int
+	if binomialAtMost(m.n, k, m.MaxEnumerate) {
+		subset = minDiameterExact(dists, m.n, k)
+	} else {
+		subset = minDiameterGreedy(dists, m.n, k)
+	}
+	chosen := make([][]float64, k)
+	for i, j := range subset {
+		chosen[i] = grads[j]
+	}
+	return vecmath.Mean(chosen)
+}
+
+// AggregateGreedy forces the greedy heuristic regardless of problem size;
+// used by the exact-vs-greedy ablation bench.
+func (m *MDA) AggregateGreedy(grads [][]float64) ([]float64, error) {
+	if err := checkInputs(grads, m.n); err != nil {
+		return nil, err
+	}
+	if m.f == 0 {
+		return vecmath.Mean(grads)
+	}
+	dists := vecmath.PairwiseSqDists(grads)
+	k := m.n - m.f
+	subset := minDiameterGreedy(dists, m.n, k)
+	chosen := make([][]float64, k)
+	for i, j := range subset {
+		chosen[i] = grads[j]
+	}
+	return vecmath.Mean(chosen)
+}
+
+// binomialAtMost reports whether C(n, k) <= limit without overflowing.
+func binomialAtMost(n, k, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c *= float64(n - k + i)
+		c /= float64(i)
+		if c > float64(limit) {
+			return false
+		}
+	}
+	return true
+}
+
+// minDiameterExact enumerates every k-subset of [0, n) and returns one with
+// the minimal squared diameter, with branch-and-bound pruning on the
+// running diameter. Ties on the diameter are broken by the subset's total
+// scatter (sum of pairwise squared distances), which makes the selection
+// invariant to the input order: two distinct subsets sharing both diameter
+// and scatter only occur on measure-zero inputs.
+func minDiameterExact(dists [][]float64, n, k int) []int {
+	best := make([]int, 0, k)
+	bestDiam := math.Inf(1)
+	bestScatter := math.Inf(1)
+	cur := make([]int, 0, k)
+
+	var recurse func(start int, curDiam, curScatter float64)
+	recurse = func(start int, curDiam, curScatter float64) {
+		if curDiam > bestDiam {
+			return // prune: cannot improve
+		}
+		if len(cur) == k {
+			if curDiam < bestDiam || (curDiam == bestDiam && curScatter < bestScatter) {
+				bestDiam = curDiam
+				bestScatter = curScatter
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Not enough remaining elements to complete the subset.
+		if n-start < k-len(cur) {
+			return
+		}
+		for i := start; i < n; i++ {
+			d, sc := curDiam, curScatter
+			for _, j := range cur {
+				dij := dists[i][j]
+				sc += dij
+				if dij > d {
+					d = dij
+				}
+			}
+			cur = append(cur, i)
+			recurse(i+1, d, sc)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	recurse(0, 0, 0)
+	return best
+}
+
+// minDiameterGreedy evaluates, for each gradient i, the candidate subset
+// {i} ∪ {its k−1 nearest neighbours} and returns the candidate with the
+// smallest diameter. O(n²·k) after the O(n²·d) distance matrix.
+func minDiameterGreedy(dists [][]float64, n, k int) []int {
+	bestDiam := math.Inf(1)
+	bestScatter := math.Inf(1)
+	var best []int
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Select indices of the k nearest (including i itself, distance 0).
+		for j := range order {
+			order[j] = j
+		}
+		row := dists[i]
+		// Partial selection sort of the k smallest distances to i.
+		for a := 0; a < k; a++ {
+			minJ := a
+			for b := a + 1; b < n; b++ {
+				if row[order[b]] < row[order[minJ]] {
+					minJ = b
+				}
+			}
+			order[a], order[minJ] = order[minJ], order[a]
+		}
+		cand := order[:k]
+		var diam, scatter float64
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				d := dists[cand[a]][cand[b]]
+				scatter += d
+				if d > diam {
+					diam = d
+				}
+			}
+		}
+		// Same diameter/scatter tie-break as the exact search, for
+		// order-independent selection.
+		if diam < bestDiam || (diam == bestDiam && scatter < bestScatter) {
+			bestDiam = diam
+			bestScatter = scatter
+			best = append(best[:0:0], cand...)
+		}
+	}
+	return best
+}

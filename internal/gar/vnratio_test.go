@@ -1,0 +1,294 @@
+package gar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpbyz/internal/dp"
+	"dpbyz/internal/randx"
+)
+
+func paperBudget() dp.Budget { return dp.Budget{Epsilon: 0.2, Delta: 1e-6} }
+
+func TestEmpiricalVNRatio(t *testing.T) {
+	// Gradients at mean (2, 0) with deviations (±1, 0): variance = 1,
+	// mean norm = 2, so VN ratio = 1/2.
+	honest := [][]float64{{1, 0}, {3, 0}}
+	got, err := EmpiricalVNRatio(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("VN ratio = %v, want 0.5", got)
+	}
+}
+
+func TestEmpiricalVNRatioEdgeCases(t *testing.T) {
+	if _, err := EmpiricalVNRatio([][]float64{{1}}); err == nil {
+		t.Error("single gradient did not error")
+	}
+	got, err := EmpiricalVNRatio([][]float64{{1, 0}, {-1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("zero-mean VN ratio = %v, want +Inf", got)
+	}
+}
+
+func TestDPAdjustedVNRatioExceedsPlain(t *testing.T) {
+	rng := randx.New(1)
+	honest := make([][]float64, 20)
+	for i := range honest {
+		g := rng.NormalVec(make([]float64, 69), 0.001)
+		for j := range g {
+			g[j] += 0.005
+		}
+		honest[i] = g
+	}
+	plain, err := EmpiricalVNRatio(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := dp.NoiseSigmaForGradient(0.01, 50, paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted, err := DPAdjustedVNRatio(honest, sigma*sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adjusted <= plain {
+		t.Errorf("adjusted %v <= plain %v", adjusted, plain)
+	}
+	// With zero noise the two must agree.
+	same, err := DPAdjustedVNRatio(honest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same-plain) > 1e-12 {
+		t.Errorf("zero-noise adjusted %v != plain %v", same, plain)
+	}
+}
+
+func TestDPAdjustedVNRatioValidation(t *testing.T) {
+	if _, err := DPAdjustedVNRatio([][]float64{{1}}, 1); err == nil {
+		t.Error("single gradient did not error")
+	}
+	if _, err := DPAdjustedVNRatio([][]float64{{1}, {2}}, -1); err == nil {
+		t.Error("negative variance did not error")
+	}
+}
+
+func TestVNConditionHolds(t *testing.T) {
+	mda, err := NewMDA(11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VNConditionHolds(mda, mda.KF()-1e-9) {
+		t.Error("ratio below k_F reported as failing")
+	}
+	if VNConditionHolds(mda, mda.KF()+1e-9) {
+		t.Error("ratio above k_F reported as holding")
+	}
+	avg, _ := NewAverage(5)
+	if VNConditionHolds(avg, 0.0001) {
+		t.Error("average (k_F = 0) must never satisfy the condition")
+	}
+}
+
+func TestPrivacyConstant(t *testing.T) {
+	c, err := PrivacyConstant(paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2 / math.Sqrt(math.Log(1.25/1e-6))
+	if math.Abs(c-want) > 1e-15 {
+		t.Errorf("C = %v, want %v", c, want)
+	}
+	if _, err := PrivacyConstant(dp.Budget{Epsilon: 2, Delta: 0.5}); err == nil {
+		t.Error("invalid budget did not error")
+	}
+}
+
+func TestProposition1MDAThreshold(t *testing.T) {
+	c, err := PrivacyConstant(paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResNet-50 example from the paper: d = 25.6e6 needs b > 5000 even to
+	// tolerate a tiny Byzantine fraction; check the threshold is tiny for
+	// b = 128.
+	frac, err := MaxByzFracMDA(128, 25_600_000, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > 0.01 {
+		t.Errorf("ResNet-50 scale admissible fraction = %v, want < 1%%", frac)
+	}
+	// The paper's own d = 69 with b = 500 admits a healthy fraction.
+	frac69, err := MaxByzFracMDA(500, 69, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac69 < frac {
+		t.Error("small model admits less than huge model; threshold inverted")
+	}
+}
+
+// Property: thresholds move the right way with d and b.
+func TestThresholdMonotonicity(t *testing.T) {
+	c, err := PrivacyConstant(paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(bRaw, dRaw uint16) bool {
+		b := int(bRaw)%1000 + 1
+		d := int(dRaw)%100000 + 10
+		m1, err1 := MaxByzFracMDA(b, d, c)
+		m2, err2 := MaxByzFracMDA(b, d*4, c)
+		m3, err3 := MaxByzFracMDA(b*2, d, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// Larger model: lower tolerable fraction. Larger batch: higher.
+		if m2 >= m1 || m3 <= m1 {
+			return false
+		}
+		k1, err4 := MinBatchKrum(23, 4, d, c)
+		k2, err5 := MinBatchKrum(23, 4, d*4, c)
+		if err4 != nil || err5 != nil {
+			return false
+		}
+		// Krum's required batch grows like sqrt(d): quadrupling d doubles it.
+		return math.Abs(k2/k1-2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBatchFormulas(t *testing.T) {
+	c := 0.05
+	krum, err := MinBatchKrum(23, 4, 100, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(16*100*(23+16)) / c
+	if math.Abs(krum-want) > 1e-9 {
+		t.Errorf("MinBatchKrum = %v, want %v", krum, want)
+	}
+	med, err := MinBatchMedian(23, 100, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-math.Sqrt(4*100*24)/c) > 1e-9 {
+		t.Errorf("MinBatchMedian = %v", med)
+	}
+	mea, err := MinBatchMeamed(23, 100, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mea-math.Sqrt(40*100*24)/c) > 1e-9 {
+		t.Errorf("MinBatchMeamed = %v", mea)
+	}
+	// Meamed needs a strictly larger batch than Median at equal (n, d, C).
+	if mea <= med {
+		t.Error("Meamed threshold should exceed Median's")
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := MaxByzFracMDA(0, 10, 0.1); err == nil {
+		t.Error("zero batch did not error")
+	}
+	if _, err := MaxByzFracMDA(10, 0, 0.1); err == nil {
+		t.Error("zero dim did not error")
+	}
+	if _, err := MaxByzFracMDA(10, 10, 0); err == nil {
+		t.Error("zero constant did not error")
+	}
+	if _, err := MinBatchKrum(5, 1, 0, 0.1); err == nil {
+		t.Error("zero dim did not error")
+	}
+	if _, err := MinBatchMedian(0, 10, 0.1); err == nil {
+		t.Error("zero n did not error")
+	}
+	if _, err := MinBatchMeamed(5, 10, -1); err == nil {
+		t.Error("negative constant did not error")
+	}
+	if _, err := MaxByzFracTrimmedMean(0, 10, 0.1); err == nil {
+		t.Error("zero batch did not error")
+	}
+	if _, err := MaxByzFracPhocas(10, 10, 0); err == nil {
+		t.Error("zero constant did not error")
+	}
+}
+
+func TestTable1PaperSetting(t *testing.T) {
+	// n=11, f=5: Krum and Bulyan constraints fail (need n > 2f+2 and
+	// n >= 4f+3), so the table contains the remaining five rules.
+	rows, err := Table1(11, 5, 50, 69, paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := map[string]Table1Row{}
+	for _, r := range rows {
+		byRule[r.Rule] = r
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	for _, rule := range []string{"median", "meamed", "mda", "trimmedmean", "phocas"} {
+		if _, ok := byRule[rule]; !ok {
+			t.Errorf("missing rule %s", rule)
+		}
+	}
+	// At b = 50, d = 69, f/n = 5/11 ≈ 0.45 the conditions must all fail —
+	// that is the paper's point.
+	for _, r := range rows {
+		if r.Satisfied {
+			t.Errorf("rule %s condition unexpectedly satisfied at b=50", r.Rule)
+		}
+	}
+}
+
+func TestTable1FullSevenRules(t *testing.T) {
+	rows, err := Table1(23, 5, 50, 69, paperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	kinds := map[string]string{}
+	for _, r := range rows {
+		kinds[r.Rule] = r.Kind
+	}
+	for _, rule := range []string{"krum", "bulyan", "median", "meamed"} {
+		if kinds[rule] != "min-batch" {
+			t.Errorf("%s kind = %q", rule, kinds[rule])
+		}
+	}
+	for _, rule := range []string{"mda", "trimmedmean", "phocas"} {
+		if kinds[rule] != "max-byz-frac" {
+			t.Errorf("%s kind = %q", rule, kinds[rule])
+		}
+	}
+}
+
+func TestTable1Validation(t *testing.T) {
+	if _, err := Table1(11, 5, 0, 69, paperBudget()); err == nil {
+		t.Error("zero batch did not error")
+	}
+	if _, err := Table1(11, 5, 50, 69, dp.Budget{}); err == nil {
+		t.Error("invalid budget did not error")
+	}
+	if _, err := Table1(0, 0, 50, 69, paperBudget()); err == nil {
+		t.Error("n=0 did not error")
+	}
+	if _, err := Table1(3, 2, 50, 69, paperBudget()); err == nil {
+		t.Error("no-rule configuration did not error")
+	}
+}

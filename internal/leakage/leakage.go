@@ -1,0 +1,72 @@
+// Package leakage demonstrates the data-leakage threat motivating the
+// paper's privacy requirement (§1, citing Zhu et al.'s "Deep Leakage from
+// Gradients"): an honest-but-curious parameter server can reconstruct
+// training samples from the gradients workers send in the clear.
+//
+// For the paper's own model family — affine scores w·x + b under any
+// per-example loss — the leak is exact and closed-form: a single example's
+// gradient is ∂L/∂z · [x, 1], so dividing the feature blocks by the bias
+// coordinate recovers x perfectly. The package implements this inversion
+// and quantifies how worker-local DP noise (the paper's defence) destroys
+// it.
+package leakage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dpbyz/internal/vecmath"
+)
+
+// Reconstruction is the output of a gradient-inversion attempt.
+type Reconstruction struct {
+	// X is the recovered feature vector.
+	X []float64
+	// BiasGradient is the value the inversion divided by; tiny values mean
+	// the example was near the decision boundary and recovery is unstable.
+	BiasGradient float64
+}
+
+// Errors returned by the inverter.
+var (
+	ErrGradientTooShort = errors.New("leakage: gradient has no bias coordinate")
+	ErrNoSignal         = errors.New("leakage: bias gradient too small to invert")
+)
+
+// InvertAffineGradient reconstructs the training example from a
+// single-example gradient of an affine-score model (bias last, the layout
+// used by every linear model in this repository). The inversion is exact
+// for noiseless gradients: grad = c·[x, 1] ⇒ x = grad[:d]/grad[d].
+func InvertAffineGradient(grad []float64) (*Reconstruction, error) {
+	if len(grad) < 2 {
+		return nil, ErrGradientTooShort
+	}
+	bias := grad[len(grad)-1]
+	if math.Abs(bias) < 1e-12 {
+		return nil, fmt.Errorf("%w: |bias gradient| = %v", ErrNoSignal, math.Abs(bias))
+	}
+	x := make([]float64, len(grad)-1)
+	for i := range x {
+		x[i] = grad[i] / bias
+	}
+	return &Reconstruction{X: x, BiasGradient: bias}, nil
+}
+
+// ReconstructionError returns the relative L2 error ‖x̂ − x‖/‖x‖ of a
+// reconstruction against the true example (∞ when the true example is the
+// zero vector and the reconstruction is not).
+func ReconstructionError(recovered, truth []float64) (float64, error) {
+	if len(recovered) != len(truth) {
+		return 0, fmt.Errorf("leakage: dim mismatch %d vs %d", len(recovered), len(truth))
+	}
+	num := vecmath.Dist(recovered, truth)
+	den := vecmath.Norm(truth)
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return num / den, nil
+}

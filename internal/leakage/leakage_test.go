@@ -1,0 +1,153 @@
+package leakage
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/model"
+	"dpbyz/internal/randx"
+)
+
+// gradientOfOneExample returns the single-example gradient the curious
+// server would observe from an unprotected worker.
+func gradientOfOneExample(t *testing.T, m model.Model, w []float64, p data.Point) []float64 {
+	t.Helper()
+	g := make([]float64, m.Dim())
+	m.Gradient(g, w, []data.Point{p})
+	return g
+}
+
+func TestExactReconstructionFromClearGradient(t *testing.T) {
+	const features = 20
+	m, err := model.NewLogisticMSE(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	w := rng.NormalVec(make([]float64, m.Dim()), 0.5)
+	x := rng.NormalVec(make([]float64, features), 1)
+	p := data.Point{X: x, Y: 1}
+
+	grad := gradientOfOneExample(t, m, w, p)
+	rec, err := InvertAffineGradient(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr, err := ReconstructionError(rec.X, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr > 1e-9 {
+		t.Errorf("clear-gradient reconstruction error = %v, want ~0", relErr)
+	}
+}
+
+func TestReconstructionWorksForAllAffineModels(t *testing.T) {
+	const features = 8
+	rng := randx.New(2)
+	x := rng.NormalVec(make([]float64, features), 1)
+	p := data.Point{X: x, Y: 0}
+
+	lmse, err := model.NewLogisticMSE(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnll, err := model.NewLogisticNLL(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lreg, err := model.NewLinearRegression(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []model.Model{lmse, lnll, lreg} {
+		t.Run(m.Name(), func(t *testing.T) {
+			w := randx.New(3).NormalVec(make([]float64, m.Dim()), 0.5)
+			grad := gradientOfOneExample(t, m, w, p)
+			rec, err := InvertAffineGradient(grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relErr, err := ReconstructionError(rec.X, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr > 1e-9 {
+				t.Errorf("reconstruction error = %v", relErr)
+			}
+		})
+	}
+}
+
+func TestDPNoiseDefeatsReconstruction(t *testing.T) {
+	const features = 20
+	m, err := model.NewLogisticMSE(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(4)
+	w := rng.NormalVec(make([]float64, m.Dim()), 0.5)
+	x := rng.NormalVec(make([]float64, features), 1)
+	p := data.Point{X: x, Y: 1}
+	grad := gradientOfOneExample(t, m, w, p)
+
+	// The paper's defence: clip + Gaussian noise at (0.2, 1e-6) for b = 1
+	// (the worst case for the victim: the whole gradient is their sample).
+	mech, err := dp.NewGaussian(0.01, 1, dp.Budget{Epsilon: 0.2, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clip like the worker pipeline would before noising.
+	norm := 0.0
+	for _, v := range grad {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for i := range grad {
+		grad[i] *= 0.01 / norm
+	}
+	mech.Perturb(grad, randx.New(5))
+
+	rec, err := InvertAffineGradient(grad)
+	if err != nil {
+		// The noise may flatten the bias coordinate entirely; that also
+		// counts as defeating the attack.
+		if errors.Is(err, ErrNoSignal) {
+			return
+		}
+		t.Fatal(err)
+	}
+	relErr, err := ReconstructionError(rec.X, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr < 1 {
+		t.Errorf("DP-noised reconstruction error = %v; attack not defeated", relErr)
+	}
+}
+
+func TestInvertValidation(t *testing.T) {
+	if _, err := InvertAffineGradient([]float64{1}); !errors.Is(err, ErrGradientTooShort) {
+		t.Errorf("short gradient error = %v", err)
+	}
+	if _, err := InvertAffineGradient([]float64{1, 0}); !errors.Is(err, ErrNoSignal) {
+		t.Errorf("zero bias error = %v", err)
+	}
+}
+
+func TestReconstructionErrorEdgeCases(t *testing.T) {
+	if _, err := ReconstructionError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	got, err := ReconstructionError([]float64{0, 0}, []float64{0, 0})
+	if err != nil || got != 0 {
+		t.Errorf("zero/zero = %v, %v", got, err)
+	}
+	got, err = ReconstructionError([]float64{1, 0}, []float64{0, 0})
+	if err != nil || !math.IsInf(got, 1) {
+		t.Errorf("nonzero/zero = %v, %v", got, err)
+	}
+}

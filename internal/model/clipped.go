@@ -1,0 +1,39 @@
+package model
+
+import (
+	"dpbyz/internal/data"
+	"dpbyz/internal/vecmath"
+)
+
+// ClippedGradient writes into dst the average over the batch of PER-SAMPLE
+// gradients clipped to L2 norm clip, using buf (length Dim()) as scratch.
+// This is the h(ξ) of the paper's Eq. 4 under Assumption 1: because every
+// per-sample gradient is individually bounded by clip, replacing one sample
+// changes the average by at most 2·clip/b — the sensitivity the Gaussian
+// mechanism (Eq. 6) is calibrated against. Clipping the batch average
+// instead would give sensitivity 2·clip, silently destroying the DP
+// guarantee.
+//
+// With clip <= 0 it computes the plain batch gradient.
+func ClippedGradient(m Model, dst, buf, w []float64, batch []data.Point, clip float64) []float64 {
+	if clip <= 0 {
+		return m.Gradient(dst, w, batch)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	one := make([]data.Point, 1)
+	for _, p := range batch {
+		one[0] = p
+		m.Gradient(buf, w, one)
+		vecmath.ClipL2(buf, clip)
+		for i := range dst {
+			dst[i] += buf[i]
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+func TestClippedGradientNoClipEqualsBatchGradient(t *testing.T) {
+	m, err := NewLogisticMSE(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	w := rng.NormalVec(make([]float64, m.Dim()), 1)
+	batch := randomBatch(t, 4, 6, 2)
+	got := ClippedGradient(m, make([]float64, m.Dim()), make([]float64, m.Dim()), w, batch, 0)
+	want := m.Gradient(make([]float64, m.Dim()), w, batch)
+	if !vecmath.ApproxEqual(got, want, 1e-15) {
+		t.Errorf("clip<=0 path diverges: %v vs %v", got, want)
+	}
+}
+
+func TestClippedGradientGenerousBoundEqualsBatchGradient(t *testing.T) {
+	// When no per-sample gradient exceeds the bound, per-sample clipping
+	// must be a no-op and the average equals the plain batch gradient.
+	m, err := NewLinearRegression(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(3)
+	w := rng.NormalVec(make([]float64, m.Dim()), 0.1)
+	batch := randomBatch(t, 3, 5, 4)
+	got := ClippedGradient(m, make([]float64, m.Dim()), make([]float64, m.Dim()), w, batch, 1e9)
+	want := m.Gradient(make([]float64, m.Dim()), w, batch)
+	if !vecmath.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("generous bound diverges: %v vs %v", got, want)
+	}
+}
+
+// Property: the clipped average never exceeds the bound (Assumption 1),
+// which is exactly what the 2·Gmax/b sensitivity needs.
+func TestClippedGradientNormBound(t *testing.T) {
+	m, err := NewLogisticMSE(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, clipRaw uint8) bool {
+		clip := 1e-4 + float64(clipRaw)/255*0.1
+		rng := randx.New(seed)
+		w := rng.NormalVec(make([]float64, m.Dim()), 2)
+		pts := make([]data.Point, 7)
+		for i := range pts {
+			pts[i] = data.Point{X: rng.NormalVec(make([]float64, 3), 1), Y: float64(i % 2)}
+		}
+		g := ClippedGradient(m, make([]float64, m.Dim()), make([]float64, m.Dim()), w, pts, clip)
+		return vecmath.Norm(g) <= clip*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClippedGradientActuallyClips(t *testing.T) {
+	m, err := NewLinearRegression(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets far from the model's predictions produce huge per-sample
+	// gradients; a tight bound must bite.
+	pts := randomBatch(t, 2, 4, 9)
+	for i := range pts {
+		pts[i].Y = 1e6
+	}
+	w := make([]float64, m.Dim())
+	const clip = 0.01
+	g := ClippedGradient(m, make([]float64, m.Dim()), make([]float64, m.Dim()), w, pts, clip)
+	n := vecmath.Norm(g)
+	if n > clip+1e-12 {
+		t.Errorf("norm %v exceeds clip %v", n, clip)
+	}
+	// Every per-sample gradient is pushed onto the clip boundary (targets
+	// are huge), so the average must have a substantial fraction of the
+	// bound's norm — an un-clipped pipeline would be ~1e6 here.
+	if n < clip*0.2 {
+		t.Errorf("norm %v suspiciously small relative to clip %v", n, clip)
+	}
+}

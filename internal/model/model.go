@@ -1,0 +1,336 @@
+// Package model defines the learning tasks of the reproduction: the paper's
+// logistic-regression-with-MSE-loss model (§5.1), auxiliary convex models
+// (linear regression, logistic NLL, the mean-estimation objective behind
+// Theorem 1's lower bound), and a small MLP to exercise the non-convex
+// regime of §3.
+//
+// All models expose the parameter vector w as a flat []float64 of length
+// Dim(), so the rest of the stack (DP noise, GARs, attacks) is model
+// agnostic, exactly as in the paper where everything operates on gradient
+// vectors in R^d.
+package model
+
+import (
+	"errors"
+	"math"
+
+	"dpbyz/internal/data"
+)
+
+// Model is a differentiable learning task. Implementations must be
+// stateless: all methods are pure functions of (w, batch), making them safe
+// for concurrent use by many workers.
+type Model interface {
+	// Name identifies the model in logs and experiment records.
+	Name() string
+	// Dim returns the number of parameters d.
+	Dim() int
+	// Features returns the input feature dimension the model expects.
+	Features() int
+	// Loss returns the average loss of parameters w over the batch.
+	Loss(w []float64, batch []data.Point) float64
+	// Gradient writes the average gradient of the loss at w over the batch
+	// into dst (length Dim()) and returns dst.
+	Gradient(dst, w []float64, batch []data.Point) []float64
+}
+
+// Predictor is implemented by classification models that can score a point.
+type Predictor interface {
+	// Predict returns the model's probability that x has label 1.
+	Predict(w []float64, x []float64) float64
+}
+
+// ErrBadDimension is returned by constructors given non-positive dimensions.
+var ErrBadDimension = errors.New("model: non-positive dimension")
+
+// Accuracy returns the fraction of points in ds whose thresholded prediction
+// (at 0.5) matches the label. It returns 0 for an empty dataset.
+func Accuracy(m Predictor, w []float64, ds *data.Dataset) float64 {
+	if ds == nil || ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range ds.Points() {
+		pred := 0.0
+		if m.Predict(w, p.X) >= 0.5 {
+			pred = 1
+		}
+		if pred == p.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// DatasetLoss returns the average loss of w over the full dataset.
+func DatasetLoss(m Model, w []float64, ds *data.Dataset) float64 {
+	if ds == nil || ds.Len() == 0 {
+		return 0
+	}
+	return m.Loss(w, ds.Points())
+}
+
+// sigmoid is the numerically stable logistic function.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// affine returns w·x + bias where the bias is the last parameter; the
+// feature dimension is len(w)-1.
+func affine(w []float64, x []float64) float64 {
+	z := w[len(w)-1]
+	for j, xj := range x {
+		z += w[j] * xj
+	}
+	return z
+}
+
+// LogisticMSE is the paper's model: a logistic regressor trained with the
+// mean-square error loss (§5.1), d = features + 1 parameters (bias last).
+type LogisticMSE struct {
+	features int
+}
+
+var (
+	_ Model     = (*LogisticMSE)(nil)
+	_ Predictor = (*LogisticMSE)(nil)
+)
+
+// NewLogisticMSE returns the paper's logistic-MSE model over the given
+// feature count.
+func NewLogisticMSE(features int) (*LogisticMSE, error) {
+	if features <= 0 {
+		return nil, ErrBadDimension
+	}
+	return &LogisticMSE{features: features}, nil
+}
+
+// Name implements Model.
+func (m *LogisticMSE) Name() string { return "logistic-mse" }
+
+// Dim implements Model.
+func (m *LogisticMSE) Dim() int { return m.features + 1 }
+
+// Features implements Model.
+func (m *LogisticMSE) Features() int { return m.features }
+
+// Predict implements Predictor.
+func (m *LogisticMSE) Predict(w []float64, x []float64) float64 {
+	return sigmoid(affine(w, x))
+}
+
+// Loss implements Model: mean over the batch of (sigmoid(w·x+b) − y)².
+func (m *LogisticMSE) Loss(w []float64, batch []data.Point) float64 {
+	var s float64
+	for _, p := range batch {
+		d := sigmoid(affine(w, p.X)) - p.Y
+		s += d * d
+	}
+	return s / float64(len(batch))
+}
+
+// Gradient implements Model. dLoss/dz = 2(p − y)·p·(1 − p).
+func (m *LogisticMSE) Gradient(dst, w []float64, batch []data.Point) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, p := range batch {
+		prob := sigmoid(affine(w, p.X))
+		g := 2 * (prob - p.Y) * prob * (1 - prob)
+		for j, xj := range p.X {
+			dst[j] += g * xj
+		}
+		dst[len(dst)-1] += g
+	}
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// LogisticNLL is standard logistic regression with the cross-entropy loss,
+// included as a second convex task.
+type LogisticNLL struct {
+	features int
+}
+
+var (
+	_ Model     = (*LogisticNLL)(nil)
+	_ Predictor = (*LogisticNLL)(nil)
+)
+
+// NewLogisticNLL returns a cross-entropy logistic model.
+func NewLogisticNLL(features int) (*LogisticNLL, error) {
+	if features <= 0 {
+		return nil, ErrBadDimension
+	}
+	return &LogisticNLL{features: features}, nil
+}
+
+// Name implements Model.
+func (m *LogisticNLL) Name() string { return "logistic-nll" }
+
+// Dim implements Model.
+func (m *LogisticNLL) Dim() int { return m.features + 1 }
+
+// Features implements Model.
+func (m *LogisticNLL) Features() int { return m.features }
+
+// Predict implements Predictor.
+func (m *LogisticNLL) Predict(w []float64, x []float64) float64 {
+	return sigmoid(affine(w, x))
+}
+
+// Loss implements Model: mean binary cross-entropy, computed in the stable
+// log-sum-exp form.
+func (m *LogisticNLL) Loss(w []float64, batch []data.Point) float64 {
+	var s float64
+	for _, p := range batch {
+		z := affine(w, p.X)
+		// log(1+e^z) − y·z, stable for both signs of z.
+		s += math.Max(z, 0) + math.Log1p(math.Exp(-math.Abs(z))) - p.Y*z
+	}
+	return s / float64(len(batch))
+}
+
+// Gradient implements Model: mean over the batch of (sigmoid(z) − y)·x.
+func (m *LogisticNLL) Gradient(dst, w []float64, batch []data.Point) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, p := range batch {
+		g := sigmoid(affine(w, p.X)) - p.Y
+		for j, xj := range p.X {
+			dst[j] += g * xj
+		}
+		dst[len(dst)-1] += g
+	}
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// LinearRegression is ordinary least squares with MSE loss, the simplest
+// strongly convex task.
+type LinearRegression struct {
+	features int
+}
+
+var _ Model = (*LinearRegression)(nil)
+
+// NewLinearRegression returns an OLS model.
+func NewLinearRegression(features int) (*LinearRegression, error) {
+	if features <= 0 {
+		return nil, ErrBadDimension
+	}
+	return &LinearRegression{features: features}, nil
+}
+
+// Name implements Model.
+func (m *LinearRegression) Name() string { return "linear-regression" }
+
+// Dim implements Model.
+func (m *LinearRegression) Dim() int { return m.features + 1 }
+
+// Features implements Model.
+func (m *LinearRegression) Features() int { return m.features }
+
+// Loss implements Model: mean of (w·x + b − y)².
+func (m *LinearRegression) Loss(w []float64, batch []data.Point) float64 {
+	var s float64
+	for _, p := range batch {
+		d := affine(w, p.X) - p.Y
+		s += d * d
+	}
+	return s / float64(len(batch))
+}
+
+// Gradient implements Model.
+func (m *LinearRegression) Gradient(dst, w []float64, batch []data.Point) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, p := range batch {
+		g := 2 * (affine(w, p.X) - p.Y)
+		for j, xj := range p.X {
+			dst[j] += g * xj
+		}
+		dst[len(dst)-1] += g
+	}
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// MeanEstimation is Theorem 1's lower-bound objective
+// Q(w) = ½ E‖w − x‖² with x ~ N(x̄, σ²/d I): strongly convex with λ = μ = 1,
+// minimized at w* = x̄. Its stochastic gradient on a batch is the average of
+// (w − x) over the batch.
+type MeanEstimation struct {
+	dim int
+}
+
+var _ Model = (*MeanEstimation)(nil)
+
+// NewMeanEstimation returns the mean-estimation objective in dimension d.
+func NewMeanEstimation(dim int) (*MeanEstimation, error) {
+	if dim <= 0 {
+		return nil, ErrBadDimension
+	}
+	return &MeanEstimation{dim: dim}, nil
+}
+
+// Name implements Model.
+func (m *MeanEstimation) Name() string { return "mean-estimation" }
+
+// Dim implements Model.
+func (m *MeanEstimation) Dim() int { return m.dim }
+
+// Features implements Model.
+func (m *MeanEstimation) Features() int { return m.dim }
+
+// Loss implements Model: ½ mean ‖w − x‖² over the batch.
+func (m *MeanEstimation) Loss(w []float64, batch []data.Point) float64 {
+	var s float64
+	for _, p := range batch {
+		for j, xj := range p.X {
+			d := w[j] - xj
+			s += d * d
+		}
+	}
+	return s / (2 * float64(len(batch)))
+}
+
+// Gradient implements Model: mean of (w − x) over the batch.
+func (m *MeanEstimation) Gradient(dst, w []float64, batch []data.Point) []float64 {
+	copy(dst, w)
+	inv := 1 / float64(len(batch))
+	for j := range dst {
+		var s float64
+		for _, p := range batch {
+			s += p.X[j]
+		}
+		dst[j] -= s * inv
+	}
+	return dst
+}
+
+// Suboptimality returns Q(w) − Q* for the mean-estimation objective, which
+// equals ½‖w − center‖² (derivation in the paper's Theorem 1 proof).
+func (m *MeanEstimation) Suboptimality(w, center []float64) float64 {
+	var s float64
+	for j := range w {
+		d := w[j] - center[j]
+		s += d * d
+	}
+	return s / 2
+}

@@ -1,0 +1,393 @@
+// Package simulate is the in-process realization of the paper's parameter
+// server model (Fig. 1): n workers — of which up to f are Byzantine — send
+// gradients each synchronous step to a server that aggregates them with a
+// GAR and performs the momentum-SGD update of Eq. 9.
+//
+// Honest workers follow §2.3 exactly: sample a batch, compute the gradient,
+// clip it to G_max (Assumption 1) and inject DP noise (Eq. 7) before
+// submission. Byzantine workers collude and all submit the same attack
+// vector crafted from the honest submissions of the step.
+//
+// The simulation is deterministic in Config.Seed: every worker derives an
+// independent randomness stream, so worker goroutines can run concurrently
+// without affecting the result.
+package simulate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/metrics"
+	"dpbyz/internal/model"
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+// Stream-derivation labels, one namespace per purpose so that adding a
+// consumer never perturbs existing ones.
+const (
+	purposeBatch uint64 = iota + 1
+	purposeNoise
+	purposeAttack
+)
+
+// Config fully describes one training run. The zero value is not usable;
+// populate at least Model, Train, GAR and Steps.
+type Config struct {
+	// Model is the learning task.
+	Model model.Model
+	// Train is the training dataset the honest workers sample from.
+	Train *data.Dataset
+	// Test is the held-out dataset for cross-accuracy; may be nil.
+	Test *data.Dataset
+	// GAR is the server's aggregation rule; its N() fixes the worker count
+	// and F() the number of Byzantine workers.
+	GAR gar.GAR
+	// Attack is the Byzantine behaviour; nil means the F() Byzantine slots
+	// behave honestly (the paper's unattacked baseline).
+	Attack attack.Attack
+	// Mechanism is the per-worker DP noise; nil disables privacy.
+	Mechanism dp.Mechanism
+	// Accountant, when non-nil, records one private release per worker per
+	// step.
+	Accountant *dp.Accountant
+
+	// Steps is the number of synchronous SGD steps (paper: 1000).
+	Steps int
+	// BatchSize is each worker's per-step sample size b.
+	BatchSize int
+	// LearningRate is the fixed step size γ (paper: 2). Ignored when
+	// LRSchedule is set.
+	LearningRate float64
+	// LRSchedule, when non-nil, supplies the per-step learning rate γ_t
+	// (0-based step). Theorem 1's γ_t = 1/(λ(1−sinα)·t) decay is available
+	// as InverseTimeLR.
+	LRSchedule func(step int) float64
+	// Momentum is the server-side momentum coefficient applied to the
+	// aggregated gradient.
+	Momentum float64
+	// WorkerMomentum is the worker-side momentum coefficient — the
+	// "distributed momentum" technique of El-Mhamdi et al. (ICLR 2021, the
+	// paper's ref [16]) used by the paper's experimental stack. It divides
+	// the submissions' VN ratio by roughly √((1+μ)/(1−μ)) and is what lets
+	// MDA withstand ALIE/FoE at b = 50 (Fig. 2). Use exactly one of
+	// Momentum and WorkerMomentum. Its placement relative to clipping and
+	// noise is controlled by MomentumPostNoise.
+	WorkerMomentum float64
+	// MomentumPostNoise selects the worker pipeline ordering:
+	//
+	//   false (default, the paper's experimental pipeline): the momentum
+	//   state accumulates RAW batch gradients and the worker submits
+	//   noise(clip(m_t)) — clipping bounds every submission to G_max, so
+	//   lr = 2 with μ = 0.99 stays stable and the per-step noise stays
+	//   i.i.d. The DP caveat: the release's true sensitivity is 2·G_max
+	//   (ball diameter) rather than the 2·G_max/b the noise is calibrated
+	//   to, because the clip wraps the whole momentum state instead of
+	//   per-sample gradients. This is faithful to the paper's figures.
+	//
+	//   true (theory-faithful DP): per-sample clip → noise → momentum as
+	//   post-processing of the released sequence. The (ε, δ) guarantee is
+	//   exact, but the momentum then amplifies the injected noise ~1/(1−μ)
+	//   in parameter space and the paper's hyperparameters diverge; see
+	//   EXPERIMENTS.md for the measured comparison.
+	MomentumPostNoise bool
+	// ClipNorm is G_max; gradients are clipped to this L2 norm before noise
+	// injection (paper: 1e-2). Zero disables clipping.
+	ClipNorm float64
+
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// InitParams optionally sets w_0; nil starts from the zero vector.
+	InitParams []float64
+
+	// AccuracyEvery measures test accuracy every k steps (paper: 50);
+	// 0 disables accuracy tracking.
+	AccuracyEvery int
+	// VNRatioEvery records the empirical DP-adjusted VN ratio of the honest
+	// submissions every k steps; 0 disables.
+	VNRatioEvery int
+	// Parallel computes worker gradients on separate goroutines. The result
+	// is identical either way; this only trades wall-clock for cores.
+	Parallel bool
+}
+
+// Result bundles the outcome of a run.
+type Result struct {
+	// Params is the final parameter vector w_T.
+	Params []float64
+	// History holds the per-step metrics.
+	History *metrics.History
+}
+
+// Validation errors.
+var (
+	ErrNilModel   = errors.New("simulate: nil model")
+	ErrNilDataset = errors.New("simulate: nil training dataset")
+	ErrNilGAR     = errors.New("simulate: nil aggregation rule")
+	ErrDiverged   = errors.New("simulate: parameters diverged to non-finite values")
+)
+
+// Validate checks the configuration for structural errors.
+func (c *Config) Validate() error {
+	if c.Model == nil {
+		return ErrNilModel
+	}
+	if c.Train == nil {
+		return ErrNilDataset
+	}
+	if c.GAR == nil {
+		return ErrNilGAR
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("simulate: non-positive step count %d", c.Steps)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("simulate: non-positive batch size %d", c.BatchSize)
+	}
+	if c.LearningRate <= 0 && c.LRSchedule == nil {
+		return fmt.Errorf("simulate: non-positive learning rate %v", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("simulate: momentum %v outside [0, 1)", c.Momentum)
+	}
+	if c.WorkerMomentum < 0 || c.WorkerMomentum >= 1 {
+		return fmt.Errorf("simulate: worker momentum %v outside [0, 1)", c.WorkerMomentum)
+	}
+	if c.Momentum > 0 && c.WorkerMomentum > 0 {
+		return errors.New("simulate: use either server or worker momentum, not both")
+	}
+	if c.ClipNorm < 0 {
+		return fmt.Errorf("simulate: negative clip norm %v", c.ClipNorm)
+	}
+	if c.Model.Features() != c.Train.Dim() {
+		return fmt.Errorf("simulate: model expects %d features, data has %d",
+			c.Model.Features(), c.Train.Dim())
+	}
+	if c.Test != nil && c.Test.Dim() != c.Train.Dim() {
+		return fmt.Errorf("simulate: test dim %d != train dim %d",
+			c.Test.Dim(), c.Train.Dim())
+	}
+	if c.InitParams != nil && len(c.InitParams) != c.Model.Dim() {
+		return fmt.Errorf("simulate: init params dim %d, want %d",
+			len(c.InitParams), c.Model.Dim())
+	}
+	if c.Attack != nil && c.GAR.F() == 0 {
+		return errors.New("simulate: attack configured but GAR tolerates f = 0")
+	}
+	return nil
+}
+
+// worker is one simulated node's state.
+type worker struct {
+	batcher *data.Batcher
+	noise   *randx.Stream
+	grad    []float64
+	// clipBuf is the per-sample gradient scratch for ClippedGradient.
+	clipBuf []float64
+	// momentum is the worker-side momentum buffer (nil when disabled).
+	momentum []float64
+	// lastBatch is the batch used this step, retained for loss recording.
+	lastBatch []data.Point
+}
+
+// Run executes the configured training and returns the final parameters and
+// metric history. The context cancels long runs between steps.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.Model.Dim()
+	n := cfg.GAR.N()
+	f := cfg.GAR.F()
+	root := randx.New(cfg.Seed)
+
+	workers := make([]*worker, n)
+	for i := range workers {
+		b, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(purposeBatch, uint64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("simulate: worker %d batcher: %w", i, err)
+		}
+		workers[i] = &worker{
+			batcher: b,
+			noise:   root.Derive(purposeNoise, uint64(i)),
+			grad:    make([]float64, d),
+			clipBuf: make([]float64, d),
+		}
+		if cfg.WorkerMomentum > 0 {
+			workers[i].momentum = make([]float64, d)
+		}
+	}
+	attackRng := root.Derive(purposeAttack)
+
+	w := make([]float64, d)
+	if cfg.InitParams != nil {
+		copy(w, cfg.InitParams)
+	}
+	velocity := make([]float64, d)
+	history := &metrics.History{}
+	submissions := make([][]float64, n)
+
+	predictor, _ := cfg.Model.(model.Predictor)
+
+	for step := 0; step < cfg.Steps; step++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("simulate: step %d: %w", step, ctx.Err())
+		default:
+		}
+
+		// Honest computation. The first f slots are the Byzantine workers;
+		// they also compute an honest gradient when no attack is configured
+		// (the paper's unattacked runs keep all n workers honest).
+		computeFrom := 0
+		if cfg.Attack != nil {
+			computeFrom = f
+		}
+		runWorker := func(i int) {
+			wk := workers[i]
+			wk.lastBatch = wk.batcher.Next()
+			if wk.momentum != nil && !cfg.MomentumPostNoise {
+				// Paper pipeline: momentum over raw gradients, then clip,
+				// then noise (see MomentumPostNoise for the DP caveat).
+				cfg.Model.Gradient(wk.grad, w, wk.lastBatch)
+				for j := range wk.momentum {
+					wk.momentum[j] = cfg.WorkerMomentum*wk.momentum[j] + wk.grad[j]
+				}
+				copy(wk.grad, wk.momentum)
+				if cfg.ClipNorm > 0 {
+					vecmath.ClipL2(wk.grad, cfg.ClipNorm)
+				}
+				if cfg.Mechanism != nil {
+					cfg.Mechanism.Perturb(wk.grad, wk.noise)
+				}
+				return
+			}
+			// Theory pipeline: per-sample clipping (Assumption 1) gives the
+			// 2·Gmax/b sensitivity the DP noise is calibrated to.
+			model.ClippedGradient(cfg.Model, wk.grad, wk.clipBuf, w, wk.lastBatch, cfg.ClipNorm)
+			if cfg.Mechanism != nil {
+				cfg.Mechanism.Perturb(wk.grad, wk.noise)
+			}
+			if wk.momentum != nil {
+				// Momentum as post-processing of the noisy release keeps
+				// the DP guarantee exact.
+				for j := range wk.momentum {
+					wk.momentum[j] = cfg.WorkerMomentum*wk.momentum[j] + wk.grad[j]
+				}
+				copy(wk.grad, wk.momentum)
+			}
+		}
+		if cfg.Parallel {
+			var wg sync.WaitGroup
+			for i := computeFrom; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					runWorker(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := computeFrom; i < n; i++ {
+				runWorker(i)
+			}
+		}
+		if cfg.Mechanism != nil && cfg.Accountant != nil {
+			for i := computeFrom; i < n; i++ {
+				cfg.Accountant.Record()
+			}
+		}
+
+		honest := make([][]float64, 0, n-computeFrom)
+		for i := computeFrom; i < n; i++ {
+			honest = append(honest, workers[i].grad)
+		}
+
+		// Byzantine submissions: every Byzantine worker sends the same
+		// crafted vector, per the collusion model of §5.1.
+		if cfg.Attack != nil {
+			crafted, err := cfg.Attack.Craft(honest, attackRng)
+			if err != nil {
+				return nil, fmt.Errorf("simulate: step %d attack: %w", step, err)
+			}
+			for i := 0; i < f; i++ {
+				submissions[i] = crafted
+			}
+		}
+		for i := computeFrom; i < n; i++ {
+			submissions[i] = workers[i].grad
+		}
+
+		agg, err := cfg.GAR.Aggregate(submissions)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: step %d aggregate: %w", step, err)
+		}
+
+		// Server update with momentum: v ← m·v + G, w ← w − γ_t·v.
+		lr := cfg.LearningRate
+		if cfg.LRSchedule != nil {
+			lr = cfg.LRSchedule(step)
+			if lr <= 0 {
+				return nil, fmt.Errorf("simulate: schedule returned non-positive rate %v at step %d", lr, step)
+			}
+		}
+		for i := range velocity {
+			velocity[i] = cfg.Momentum*velocity[i] + agg[i]
+			w[i] -= lr * velocity[i]
+		}
+		if !vecmath.AllFinite(w) {
+			return nil, fmt.Errorf("%w at step %d", ErrDiverged, step)
+		}
+
+		rec := metrics.StepRecord{
+			Step:     step,
+			Loss:     honestBatchLoss(cfg.Model, w, workers[computeFrom:]),
+			Accuracy: math.NaN(),
+			VNRatio:  math.NaN(),
+		}
+		if cfg.AccuracyEvery > 0 && predictor != nil && cfg.Test != nil &&
+			(step%cfg.AccuracyEvery == 0 || step == cfg.Steps-1) {
+			rec.Accuracy = model.Accuracy(predictor, w, cfg.Test)
+		}
+		if cfg.VNRatioEvery > 0 && step%cfg.VNRatioEvery == 0 {
+			if ratio, err := gar.EmpiricalVNRatio(honest); err == nil {
+				rec.VNRatio = ratio
+			}
+		}
+		history.Append(rec)
+	}
+
+	return &Result{Params: w, History: history}, nil
+}
+
+// honestBatchLoss averages the model loss at w over the honest workers'
+// last-sampled batches — the paper's training-loss metric (§5.1 item 2).
+func honestBatchLoss(m model.Model, w []float64, honest []*worker) float64 {
+	if len(honest) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, wk := range honest {
+		s += m.Loss(w, wk.lastBatch)
+	}
+	return s / float64(len(honest))
+}
+
+// InverseTimeLR returns the Theorem 1 learning-rate schedule
+// γ_t = scale/(t+1) (the paper uses scale = 1/(λ(1−sinα))).
+func InverseTimeLR(scale float64) func(step int) float64 {
+	return func(step int) float64 { return scale / float64(step+1) }
+}
+
+// ConstantLR returns a constant schedule, for call sites that always pass a
+// schedule function.
+func ConstantLR(rate float64) func(step int) float64 {
+	return func(int) float64 { return rate }
+}

@@ -1,0 +1,97 @@
+package vecmath
+
+import (
+	"errors"
+	"sort"
+)
+
+// TrimmedCoordMean returns the coordinate-wise b-trimmed mean of vs: on each
+// coordinate the b largest and b smallest values are discarded and the
+// remaining n-2b values averaged. This is the Trimmed Mean aggregation
+// primitive of Yin et al. (2018). It returns an error when 2b >= len(vs).
+func TrimmedCoordMean(vs [][]float64, b int) ([]float64, error) {
+	n := len(vs)
+	if n == 0 {
+		return nil, errors.New("vecmath: trimmed mean of zero vectors")
+	}
+	if b < 0 {
+		return nil, errors.New("vecmath: negative trim count")
+	}
+	if 2*b >= n {
+		return nil, errors.New("vecmath: trim count too large")
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, ErrDimensionMismatch
+			}
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		var s float64
+		for _, x := range col[b : n-b] {
+			s += x
+		}
+		out[j] = s / float64(n-2*b)
+	}
+	return out, nil
+}
+
+// MeanAroundMedian returns, per coordinate, the average of the m values
+// closest to the coordinate-wise median. This is the "Meamed" primitive of
+// Xie et al. (2018). It returns an error when m is outside [1, len(vs)].
+func MeanAroundMedian(vs [][]float64, m int) ([]float64, error) {
+	n := len(vs)
+	if n == 0 {
+		return nil, errors.New("vecmath: meamed of zero vectors")
+	}
+	if m < 1 || m > n {
+		return nil, errors.New("vecmath: meamed count out of range")
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, ErrDimensionMismatch
+			}
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		med := col[n/2]
+		if n%2 == 0 {
+			med = (col[n/2-1] + col[n/2]) / 2
+		}
+		// The column is sorted, so the m values nearest the median form a
+		// contiguous window; slide it to the minimum-width position.
+		bestStart := 0
+		bestWidth := windowWidth(col, med, 0, m)
+		for s := 1; s+m <= n; s++ {
+			if w := windowWidth(col, med, s, m); w < bestWidth {
+				bestWidth = w
+				bestStart = s
+			}
+		}
+		var sum float64
+		for _, x := range col[bestStart : bestStart+m] {
+			sum += x
+		}
+		out[j] = sum / float64(m)
+	}
+	return out, nil
+}
+
+// windowWidth returns the maximum distance from med to the endpoints of the
+// window col[s : s+m] of a sorted column.
+func windowWidth(col []float64, med float64, s, m int) float64 {
+	lo := med - col[s]
+	hi := col[s+m-1] - med
+	if lo > hi {
+		return lo
+	}
+	return hi
+}

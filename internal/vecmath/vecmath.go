@@ -1,0 +1,362 @@
+// Package vecmath provides the dense float64 vector and small-matrix
+// primitives that every other package in this repository builds on.
+//
+// All functions operate on plain []float64 slices. Functions that write
+// results into a destination slice (the *Into variants) never allocate;
+// the plain variants allocate a fresh result. Unless stated otherwise,
+// functions panic only on programmer error (mismatched lengths), mirroring
+// the behaviour of the standard library's copy/append contract for slices.
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDimensionMismatch is returned by checked entry points when two vectors
+// that must share a dimension do not.
+var ErrDimensionMismatch = errors.New("vecmath: dimension mismatch")
+
+// assertSameLen panics when the two vectors differ in length. Internal
+// helpers use it because a mismatch is always a programming error in this
+// codebase (all vectors in one training run share the model dimension d).
+func assertSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: length mismatch %d != %d", len(a), len(b)))
+	}
+}
+
+// Zeros returns a freshly allocated zero vector of dimension d.
+func Zeros(d int) []float64 {
+	return make([]float64, d)
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// CloneAll deep-copies a slice of vectors.
+func CloneAll(vs [][]float64) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = Clone(v)
+	}
+	return out
+}
+
+// Fill sets every coordinate of v to x and returns v.
+func Fill(v []float64, x float64) []float64 {
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Add returns a + b.
+func Add(a, b []float64) []float64 {
+	assertSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AddInto stores a + b into dst and returns dst.
+func AddInto(dst, a, b []float64) []float64 {
+	assertSameLen(a, b)
+	assertSameLen(dst, a)
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub returns a - b.
+func Sub(a, b []float64) []float64 {
+	assertSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// SubInto stores a - b into dst and returns dst.
+func SubInto(dst, a, b []float64) []float64 {
+	assertSameLen(a, b)
+	assertSameLen(dst, a)
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale returns s * v.
+func Scale(s float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies v by s in place and returns v.
+func ScaleInPlace(s float64, v []float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// Axpy performs dst += alpha * x in place and returns dst.
+func Axpy(alpha float64, x, dst []float64) []float64 {
+	assertSameLen(x, dst)
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b []float64) float64 {
+	assertSameLen(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SqNorm returns the squared Euclidean norm of v.
+func SqNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(SqNorm(v))
+}
+
+// L1Norm returns the L1 norm of v.
+func L1Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// LInfNorm returns the maximum absolute coordinate of v (0 for empty v).
+func LInfNorm(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	assertSameLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	assertSameLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ClipL2 scales v in place so that its L2 norm does not exceed max.
+// It returns v. Vectors already inside the ball are left untouched; this is
+// exactly the gradient-clipping operator from the paper (Assumption 1).
+// A non-positive max clips to the zero vector.
+func ClipL2(v []float64, max float64) []float64 {
+	if max <= 0 {
+		return Fill(v, 0)
+	}
+	n := Norm(v)
+	if n > max {
+		ScaleInPlace(max/n, v)
+	}
+	return v
+}
+
+// Mean returns the coordinate-wise mean of vs. It returns an error when vs
+// is empty or the vectors disagree on dimension.
+func Mean(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vecmath: mean of zero vectors")
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	for _, v := range vs {
+		if len(v) != d {
+			return nil, ErrDimensionMismatch
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1.0 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// CoordMedian returns the coordinate-wise median of vs.
+func CoordMedian(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vecmath: median of zero vectors")
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	col := make([]float64, len(vs))
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, ErrDimensionMismatch
+			}
+			col[i] = v[j]
+		}
+		out[j] = medianInPlace(col)
+	}
+	return out, nil
+}
+
+// medianInPlace sorts col and returns its median. For even counts it returns
+// the average of the two middle elements.
+func medianInPlace(col []float64) float64 {
+	sort.Float64s(col)
+	m := len(col)
+	if m%2 == 1 {
+		return col[m/2]
+	}
+	return (col[m/2-1] + col[m/2]) / 2
+}
+
+// CoordStd returns the coordinate-wise (population) standard deviation of
+// vs. This is the σ_t statistic used by the "A Little Is Enough" attack.
+func CoordStd(vs [][]float64) ([]float64, error) {
+	mean, err := Mean(vs)
+	if err != nil {
+		return nil, err
+	}
+	d := len(mean)
+	out := make([]float64, d)
+	for _, v := range vs {
+		for i, x := range v {
+			dev := x - mean[i]
+			out[i] += dev * dev
+		}
+	}
+	inv := 1.0 / float64(len(vs))
+	for i := range out {
+		out[i] = math.Sqrt(out[i] * inv)
+	}
+	return out, nil
+}
+
+// PairwiseSqDists returns the symmetric matrix of squared distances between
+// the vectors in vs; entry [i][j] holds ‖vs[i]−vs[j]‖².
+func PairwiseSqDists(vs [][]float64) [][]float64 {
+	n := len(vs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := SqDist(vs[i], vs[j])
+			m[i][j] = d
+			m[j][i] = d
+		}
+	}
+	return m
+}
+
+// Diameter returns the maximum pairwise Euclidean distance among vs.
+func Diameter(vs [][]float64) float64 {
+	var best float64
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if d := SqDist(vs[i], vs[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// AllFinite reports whether every coordinate of v is finite (no NaN/±Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b agree coordinate-wise within tol.
+func ApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of the coordinates of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the smallest and largest coordinate of v.
+// It returns (0, 0) for an empty vector.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
