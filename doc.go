@@ -20,6 +20,9 @@
 //
 // # Quick start
 //
+// The module path is "dpbyz" (see go.mod); import the facade as
+// `import "dpbyz"` from inside this module, then:
+//
 //	ds, _ := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{Seed: 1})
 //	train, test, _ := ds.Split(8400, dpbyz.NewStream(1))
 //	m, _ := dpbyz.NewLogisticMSE(ds.Dim())
@@ -31,6 +34,30 @@
 //		Steps: 1000, BatchSize: 50, LearningRate: 2, Momentum: 0.99,
 //		ClipNorm: 0.01, Seed: 1, AccuracyEvery: 50,
 //	})
+//
+// # Running the experiments and benchmarks
+//
+// Reproduce the paper's figures and tables from the repository root:
+//
+//	go run ./cmd/dpbyz-experiments
+//
+// and run the benchmark suite (figure pipelines, GAR throughput, the
+// pooled zero-allocation aggregation paths and the parallel-engine
+// speedup benches) with:
+//
+//	go test -bench . -benchmem
+//
+// # Performance
+//
+// The aggregation hot path is served by a shared parallel engine
+// (internal/vecmath): coordinate-wise rules (Median, Trimmed Mean, Phocas,
+// Meamed) split the d coordinates across GOMAXPROCS workers, the
+// distance-based rules (Krum, Multi-Krum, Bulyan, MDA) share one parallel
+// pairwise-distance kernel, and every rule offers an AggregateInto fast
+// path whose scratch is sync.Pool-backed: on the sequential (sub-grain)
+// path it allocates nothing on the steady state, and with goroutine
+// fan-out only the dispatch itself allocates. Parallel results are
+// bit-identical to the sequential path.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package dpbyz

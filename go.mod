@@ -1,0 +1,3 @@
+module dpbyz
+
+go 1.24

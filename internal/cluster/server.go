@@ -174,6 +174,12 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	history := &metrics.History{}
 	missed := 0
 	submissions := make([][]float64, n)
+	// agg is reused every round via the GAR's pooled AggregateInto path, and
+	// zeros stands in for every timed-out worker (Aggregate never mutates its
+	// inputs, so one shared zero vector is safe), so the steady-state round
+	// loop allocates no gradient-sized slices.
+	agg := make([]float64, s.cfg.Dim)
+	zeros := make([]float64, s.cfg.Dim)
 
 	finish := func(finalW []float64) {
 		deadline := time.Now().Add(s.cfg.RoundTimeout)
@@ -228,13 +234,12 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		// Missing gradients become zero vectors (§2.1).
 		for i := range submissions {
 			if submissions[i] == nil {
-				submissions[i] = make([]float64, s.cfg.Dim)
+				submissions[i] = zeros
 				missed++
 			}
 		}
 
-		agg, err := s.cfg.GAR.Aggregate(submissions)
-		if err != nil {
+		if err := gar.AggregateInto(s.cfg.GAR, agg, submissions); err != nil {
 			finish(w)
 			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)
 		}

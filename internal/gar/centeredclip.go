@@ -30,7 +30,10 @@ type CenteredClip struct {
 	Iters int
 }
 
-var _ GAR = (*CenteredClip)(nil)
+var (
+	_ GAR            = (*CenteredClip)(nil)
+	_ IntoAggregator = (*CenteredClip)(nil)
+)
 
 // NewCenteredClip returns the centered-clipping rule. It needs an honest
 // majority: 2f < n.
@@ -59,27 +62,34 @@ func (c *CenteredClip) KF() float64 { return 0 }
 
 // Aggregate implements GAR.
 func (c *CenteredClip) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, c.n); err != nil {
-		return nil, err
+	return aggregateAlloc(c, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (c *CenteredClip) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, c.n); err != nil {
+		return err
 	}
-	v, err := vecmath.CoordMedian(grads)
-	if err != nil {
-		return nil, err
+	s := getScratch()
+	defer putScratch(s)
+	v := dst
+	if err := vecmath.CoordMedianInto(v, grads); err != nil {
+		return err
 	}
 	radius := c.Radius
 	if radius <= 0 {
-		radius = medianDistanceTo(grads, v)
+		radius = medianDistanceTo(grads, v, grow(&s.scores, len(grads)))
 		if radius == 0 {
 			// All submissions identical to the center; nothing to refine.
-			return v, nil
+			return nil
 		}
 	}
 	iters := c.Iters
 	if iters <= 0 {
 		iters = 3
 	}
-	delta := make([]float64, len(v))
-	diff := make([]float64, len(v))
+	delta := grow(&s.vecA, len(v))
+	diff := grow(&s.vecB, len(v))
 	for l := 0; l < iters; l++ {
 		for i := range delta {
 			delta[i] = 0
@@ -95,20 +105,15 @@ func (c *CenteredClip) Aggregate(grads [][]float64) ([]float64, error) {
 		}
 		vecmath.Axpy(1/float64(c.n), delta, v)
 	}
-	return v, nil
+	return nil
 }
 
 // medianDistanceTo returns the median Euclidean distance from the points
-// to the center.
-func medianDistanceTo(grads [][]float64, center []float64) float64 {
-	dists := make([]float64, len(grads))
+// to the center, using dists (len(grads)) as scratch.
+func medianDistanceTo(grads [][]float64, center, dists []float64) float64 {
 	for i, g := range grads {
 		dists[i] = vecmath.Dist(g, center)
 	}
 	sort.Float64s(dists)
-	m := len(dists)
-	if m%2 == 1 {
-		return dists[m/2]
-	}
-	return (dists[m/2-1] + dists[m/2]) / 2
+	return vecmath.MedianSorted(dists)
 }

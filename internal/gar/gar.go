@@ -35,6 +35,53 @@ type GAR interface {
 	Aggregate(grads [][]float64) ([]float64, error)
 }
 
+// IntoAggregator is the allocation-free aggregation fast path: AggregateInto
+// writes the aggregate of grads into dst (length = gradient dimension)
+// without allocating gradient-sized scratch on the steady state — all
+// working memory comes from a sync.Pool shared across calls, and on the
+// sequential (sub-grain) path no allocation happens at all; when the
+// kernels fan out across cores, the goroutine dispatch itself costs a
+// handful of small allocations. dst must not alias any row of grads:
+// several rules write intermediate iterates into dst while still reading
+// the inputs. Every built-in rule implements it; Aggregate is a thin
+// allocating wrapper over it.
+type IntoAggregator interface {
+	AggregateInto(dst []float64, grads [][]float64) error
+}
+
+// AggregateInto aggregates grads into dst using g's allocation-free path
+// when it has one, falling back to Aggregate plus a copy otherwise. Training
+// loops that reuse dst across steps aggregate without per-step allocations.
+func AggregateInto(g GAR, dst []float64, grads [][]float64) error {
+	if ia, ok := g.(IntoAggregator); ok {
+		return ia.AggregateInto(dst, grads)
+	}
+	out, err := g.Aggregate(grads)
+	if err != nil {
+		return err
+	}
+	if len(out) != len(dst) {
+		return fmt.Errorf("gar: destination has dim %d, want %d: %w",
+			len(dst), len(out), vecmath.ErrDimensionMismatch)
+	}
+	copy(dst, out)
+	return nil
+}
+
+// aggregateAlloc adapts an AggregateInto implementation to the allocating
+// Aggregate signature.
+func aggregateAlloc(ia IntoAggregator, grads [][]float64) ([]float64, error) {
+	var d int
+	if len(grads) > 0 {
+		d = len(grads[0])
+	}
+	out := make([]float64, d)
+	if err := ia.AggregateInto(out, grads); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Validation errors, matchable with errors.Is.
 var (
 	ErrBadWorkerCount    = errors.New("gar: invalid worker count")
@@ -61,6 +108,19 @@ func checkInputs(grads [][]float64, n int) error {
 	return nil
 }
 
+// checkAggInto validates a gradient matrix and a destination buffer for an
+// AggregateInto call.
+func checkAggInto(dst []float64, grads [][]float64, n int) error {
+	if err := checkInputs(grads, n); err != nil {
+		return err
+	}
+	if len(dst) != len(grads[0]) {
+		return fmt.Errorf("gar: destination has dim %d, want %d: %w",
+			len(dst), len(grads[0]), vecmath.ErrDimensionMismatch)
+	}
+	return nil
+}
+
 // checkNF validates the universal constraints 0 <= f and n >= 1.
 func checkNF(n, f int) error {
 	if n < 1 {
@@ -78,7 +138,10 @@ type Average struct {
 	n int
 }
 
-var _ GAR = (*Average)(nil)
+var (
+	_ GAR            = (*Average)(nil)
+	_ IntoAggregator = (*Average)(nil)
+)
 
 // NewAverage returns the averaging rule over n workers.
 func NewAverage(n int) (*Average, error) {
@@ -102,10 +165,15 @@ func (a *Average) KF() float64 { return 0 }
 
 // Aggregate implements GAR.
 func (a *Average) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, a.n); err != nil {
-		return nil, err
+	return aggregateAlloc(a, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (a *Average) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, a.n); err != nil {
+		return err
 	}
-	return vecmath.Mean(grads)
+	return vecmath.MeanInto(dst, grads)
 }
 
 // Median is the coordinate-wise median rule of Yin et al. (2018); the paper
@@ -114,7 +182,10 @@ type Median struct {
 	n, f int
 }
 
-var _ GAR = (*Median)(nil)
+var (
+	_ GAR            = (*Median)(nil)
+	_ IntoAggregator = (*Median)(nil)
+)
 
 // NewMedian returns the coordinate-wise median rule.
 func NewMedian(n, f int) (*Median, error) {
@@ -142,10 +213,15 @@ func (m *Median) KF() float64 { return 1 / math.Sqrt(float64(m.n-m.f)) }
 
 // Aggregate implements GAR.
 func (m *Median) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, m.n); err != nil {
-		return nil, err
+	return aggregateAlloc(m, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (m *Median) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, m.n); err != nil {
+		return err
 	}
-	return vecmath.CoordMedian(grads)
+	return vecmath.CoordMedianInto(dst, grads)
 }
 
 // TrimmedMean is the coordinate-wise f-trimmed mean of Yin et al. (2018);
@@ -154,7 +230,10 @@ type TrimmedMean struct {
 	n, f int
 }
 
-var _ GAR = (*TrimmedMean)(nil)
+var (
+	_ GAR            = (*TrimmedMean)(nil)
+	_ IntoAggregator = (*TrimmedMean)(nil)
+)
 
 // NewTrimmedMean returns the f-trimmed coordinate-wise mean.
 func NewTrimmedMean(n, f int) (*TrimmedMean, error) {
@@ -185,10 +264,15 @@ func (t *TrimmedMean) KF() float64 {
 
 // Aggregate implements GAR.
 func (t *TrimmedMean) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, t.n); err != nil {
-		return nil, err
+	return aggregateAlloc(t, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (t *TrimmedMean) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, t.n); err != nil {
+		return err
 	}
-	return vecmath.TrimmedCoordMean(grads, t.f)
+	return vecmath.TrimmedCoordMeanInto(dst, grads, t.f)
 }
 
 // Meamed is the mean-around-median rule of Xie et al. (2018): per
@@ -198,7 +282,10 @@ type Meamed struct {
 	n, f int
 }
 
-var _ GAR = (*Meamed)(nil)
+var (
+	_ GAR            = (*Meamed)(nil)
+	_ IntoAggregator = (*Meamed)(nil)
+)
 
 // NewMeamed returns the mean-around-median rule.
 func NewMeamed(n, f int) (*Meamed, error) {
@@ -226,10 +313,15 @@ func (m *Meamed) KF() float64 { return 1 / math.Sqrt(10*float64(m.n-m.f)) }
 
 // Aggregate implements GAR.
 func (m *Meamed) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, m.n); err != nil {
-		return nil, err
+	return aggregateAlloc(m, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (m *Meamed) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, m.n); err != nil {
+		return err
 	}
-	return vecmath.MeanAroundMedian(grads, m.n-m.f)
+	return vecmath.MeanAroundMedianInto(dst, grads, m.n-m.f)
 }
 
 // Phocas is the rule of Xie et al. (2018): per coordinate, the average of
@@ -241,7 +333,10 @@ type Phocas struct {
 	n, f int
 }
 
-var _ GAR = (*Phocas)(nil)
+var (
+	_ GAR            = (*Phocas)(nil)
+	_ IntoAggregator = (*Phocas)(nil)
+)
 
 // NewPhocas returns the Phocas rule.
 func NewPhocas(n, f int) (*Phocas, error) {
@@ -273,25 +368,47 @@ func (p *Phocas) KF() float64 {
 
 // Aggregate implements GAR.
 func (p *Phocas) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, p.n); err != nil {
-		return nil, err
+	return aggregateAlloc(p, grads)
+}
+
+// phocasVal is one coordinate's candidate in the Phocas selection.
+type phocasVal struct {
+	val  float64
+	dist float64
+}
+
+// AggregateInto implements IntoAggregator.
+func (p *Phocas) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, p.n); err != nil {
+		return err
 	}
-	trimmed, err := vecmath.TrimmedCoordMean(grads, p.f)
-	if err != nil {
-		return nil, err
+	s := getScratch()
+	defer putScratch(s)
+	trimmed := grow(&s.vecA, len(dst))
+	if err := vecmath.TrimmedCoordMeanInto(trimmed, grads, p.f); err != nil {
+		return err
 	}
 	// Per coordinate, average the n-f values nearest the trimmed mean.
-	d := len(grads[0])
-	out := make([]float64, d)
-	keep := p.n - p.f
-	type scored struct {
-		val  float64
-		dist float64
+	d := len(dst)
+	if w := vecmath.ChunkWorkers(d); w > 1 {
+		vecmath.RunChunked(d, w, func(lo, hi int) {
+			ws := getScratch()
+			p.phocasRange(dst, trimmed, grads, grow(&ws.scored, p.n), lo, hi)
+			putScratch(ws)
+		})
+		return nil
 	}
-	col := make([]scored, p.n)
-	for j := 0; j < d; j++ {
+	p.phocasRange(dst, trimmed, grads, grow(&s.scored, p.n), 0, d)
+	return nil
+}
+
+// phocasRange runs the Phocas per-coordinate selection over [lo, hi) using
+// the provided n-sized column.
+func (p *Phocas) phocasRange(dst, trimmed []float64, grads [][]float64, col []phocasVal, lo, hi int) {
+	keep := p.n - p.f
+	for j := lo; j < hi; j++ {
 		for i, g := range grads {
-			col[i] = scored{val: g[j], dist: math.Abs(g[j] - trimmed[j])}
+			col[i] = phocasVal{val: g[j], dist: math.Abs(g[j] - trimmed[j])}
 		}
 		// Selection by partial sort: keep values with the smallest dist.
 		// n is small (tens), so insertion-style selection is fine.
@@ -308,7 +425,6 @@ func (p *Phocas) Aggregate(grads [][]float64) ([]float64, error) {
 		for _, c := range col[:keep] {
 			s += c.val
 		}
-		out[j] = s / float64(keep)
+		dst[j] = s / float64(keep)
 	}
-	return out, nil
 }

@@ -234,12 +234,12 @@ func TestMDAExactMatchesBruteForceDiameter(t *testing.T) {
 	}
 	grads := cloudWithOutliers(n, f, dim, 1, 0.3, 20, 11)
 	dists := vecmath.PairwiseSqDists(grads)
-	exact := minDiameterExact(dists, n, n-f)
+	exact := minDiameterExact(dists, n, n-f, getScratch())
 	if len(exact) != n-f {
 		t.Fatalf("exact subset size = %d", len(exact))
 	}
 	exactDiam := subsetDiameter(dists, exact)
-	greedy := minDiameterGreedy(dists, n, n-f)
+	greedy := minDiameterGreedy(dists, n, n-f, getScratch())
 	if subsetDiameter(dists, greedy) < exactDiam-1e-12 {
 		t.Error("greedy beat the exact optimum; exact search is broken")
 	}

@@ -23,7 +23,10 @@ type GeoMed struct {
 	Tol float64
 }
 
-var _ GAR = (*GeoMed)(nil)
+var (
+	_ GAR            = (*GeoMed)(nil)
+	_ IntoAggregator = (*GeoMed)(nil)
+)
 
 // NewGeoMed returns the geometric-median rule. Like other median-family
 // rules it needs an honest majority: 2f < n.
@@ -54,12 +57,19 @@ func (g *GeoMed) KF() float64 { return 0 }
 // Aggregate implements GAR via smoothed Weiszfeld iterations started at
 // the coordinate-wise median.
 func (g *GeoMed) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, g.n); err != nil {
-		return nil, err
+	return aggregateAlloc(g, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (g *GeoMed) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, g.n); err != nil {
+		return err
 	}
-	y, err := vecmath.CoordMedian(grads)
-	if err != nil {
-		return nil, err
+	s := getScratch()
+	defer putScratch(s)
+	y := dst
+	if err := vecmath.CoordMedianInto(y, grads); err != nil {
+		return err
 	}
 	// Convergence is judged relative to the data spread so the rule stays
 	// scale-equivariant: the same inputs scaled by c converge to the same
@@ -74,7 +84,7 @@ func (g *GeoMed) Aggregate(grads [][]float64) ([]float64, error) {
 	// The Weiszfeld smoothing term is likewise scaled so iterates of c-scaled
 	// inputs are exactly c times the original iterates.
 	smoothing := 1e-12 * (1 + spread)
-	next := make([]float64, len(y))
+	next := grow(&s.vecA, len(y))
 	for iter := 0; iter < g.MaxIters; iter++ {
 		var wsum float64
 		for i := range next {
@@ -92,5 +102,10 @@ func (g *GeoMed) Aggregate(grads [][]float64) ([]float64, error) {
 			break
 		}
 	}
-	return y, nil
+	// The final iterate may live in the scratch buffer after an odd number
+	// of swaps; the caller's dst must hold it either way.
+	if &y[0] != &dst[0] {
+		copy(dst, y)
+	}
+	return nil
 }

@@ -1,0 +1,236 @@
+package gar
+
+import (
+	"testing"
+
+	"dpbyz/internal/randx"
+	"dpbyz/internal/vecmath"
+)
+
+// intoTestGrads builds a reproducible gradient cloud large enough for every
+// registered rule at (n, f) = (13, 2) (Bulyan needs n >= 4f+3).
+func intoTestGrads(d int, seed uint64) [][]float64 {
+	return cloudWithOutliers(13, 2, d, 1, 0.1, 40, seed)
+}
+
+// TestAggregateIntoMatchesAggregate pins the pooled fast path to the
+// allocating path bit-for-bit for every registered rule.
+func TestAggregateIntoMatchesAggregate(t *testing.T) {
+	const n, f, d = 13, 2, 97
+	grads := intoTestGrads(d, 21)
+	for _, g := range allRules(t, n, f) {
+		want, err := g.Aggregate(grads)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		dst := make([]float64, d)
+		if err := AggregateInto(g, dst, grads); err != nil {
+			t.Fatalf("%s into: %v", g.Name(), err)
+		}
+		for j := range dst {
+			if dst[j] != want[j] {
+				t.Fatalf("%s: coordinate %d differs: %v != %v", g.Name(), j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAggregateIntoParallelBitIdentical asserts that fanning the engine out
+// across workers does not change a single bit of any rule's output for
+// random gradient clouds.
+func TestAggregateIntoParallelBitIdentical(t *testing.T) {
+	const n, f, d = 13, 2, 513
+	for seed := uint64(1); seed <= 5; seed++ {
+		grads := intoTestGrads(d, seed)
+		for _, g := range allRules(t, n, f) {
+			vecmath.SetParallelism(1)
+			seq := make([]float64, d)
+			errSeq := AggregateInto(g, seq, grads)
+
+			vecmath.SetParallelism(8)
+			vecmath.SetParallelGrain(1)
+			par := make([]float64, d)
+			errPar := AggregateInto(g, par, grads)
+			vecmath.SetParallelism(0)
+			vecmath.SetParallelGrain(0)
+
+			if (errSeq == nil) != (errPar == nil) {
+				t.Fatalf("%s seed %d: error mismatch: %v vs %v", g.Name(), seed, errSeq, errPar)
+			}
+			for j := range seq {
+				if seq[j] != par[j] {
+					t.Fatalf("%s seed %d: coordinate %d differs: %v != %v",
+						g.Name(), seed, j, seq[j], par[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAggregateIntoZeroAllocs is the allocation regression gate for the
+// tentpole: on the steady state (warm pools, inputs below the parallel
+// grain) no rule's AggregateInto may allocate at all.
+func TestAggregateIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector; alloc counts are meaningless")
+	}
+	// Pin the sequential path: the zero-alloc guarantee covers the inline
+	// kernels (goroutine fan-out costs a few dispatch allocations, and
+	// AllocsPerRun pins GOMAXPROCS=1 anyway).
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+	const n, f, d = 13, 2, 128
+	grads := intoTestGrads(d, 33)
+	dst := make([]float64, d)
+	for _, g := range allRules(t, n, f) {
+		ia, ok := g.(IntoAggregator)
+		if !ok {
+			t.Errorf("%s does not implement IntoAggregator", g.Name())
+			continue
+		}
+		// Warm the scratch pools.
+		for i := 0; i < 3; i++ {
+			if err := ia.AggregateInto(dst, grads); err != nil {
+				t.Fatalf("%s warm-up: %v", g.Name(), err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := ia.AggregateInto(dst, grads); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s.AggregateInto allocates %v objects per steady-state call", g.Name(), allocs)
+		}
+	}
+}
+
+// legacyGAR is a GAR without the AggregateInto fast path, exercising the
+// fallback of the package-level AggregateInto helper.
+type legacyGAR struct{ n int }
+
+func (l *legacyGAR) Name() string { return "legacy" }
+func (l *legacyGAR) N() int       { return l.n }
+func (l *legacyGAR) F() int       { return 0 }
+func (l *legacyGAR) KF() float64  { return 0 }
+func (l *legacyGAR) Aggregate(grads [][]float64) ([]float64, error) {
+	return vecmath.Mean(grads)
+}
+
+func TestAggregateIntoFallback(t *testing.T) {
+	g := &legacyGAR{n: 4}
+	grads := cloudWithOutliers(4, 0, 6, 1, 0.2, 0, 5)
+	dst := make([]float64, 6)
+	if err := AggregateInto(g, dst, grads); err != nil {
+		t.Fatal(err)
+	}
+	want, err := vecmath.Mean(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.ApproxEqual(dst, want, 0) {
+		t.Errorf("fallback copy = %v, want %v", dst, want)
+	}
+	if err := AggregateInto(g, make([]float64, 5), grads); err == nil {
+		t.Error("fallback accepted a short destination")
+	}
+}
+
+// TestAggregateIntoValidation checks the shared destination validation.
+func TestAggregateIntoValidation(t *testing.T) {
+	const n, f, d = 13, 2, 16
+	grads := intoTestGrads(d, 9)
+	for _, g := range allRules(t, n, f) {
+		ia := g.(IntoAggregator)
+		if err := ia.AggregateInto(make([]float64, d-1), grads); err == nil {
+			t.Errorf("%s accepted a short destination", g.Name())
+		}
+		if err := ia.AggregateInto(make([]float64, d), grads[:n-1]); err == nil {
+			t.Errorf("%s accepted a short gradient matrix", g.Name())
+		}
+	}
+}
+
+// TestAggregateIntoConcurrent hammers one rule instance from multiple
+// goroutines: the pooled scratch must keep concurrent AggregateInto calls
+// independent (the GAR contract promises concurrency safety).
+func TestAggregateIntoConcurrent(t *testing.T) {
+	const n, f, d = 13, 2, 64
+	grads := intoTestGrads(d, 17)
+	for _, name := range []string{"median", "krum", "mda", "phocas"} {
+		g, err := New(name, n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.Aggregate(grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia := g.(IntoAggregator)
+		done := make(chan error, 8)
+		for w := 0; w < 8; w++ {
+			go func() {
+				dst := make([]float64, d)
+				for i := 0; i < 50; i++ {
+					if err := ia.AggregateInto(dst, grads); err != nil {
+						done <- err
+						return
+					}
+					for j := range dst {
+						if dst[j] != want[j] {
+							done <- errMismatch
+							return
+						}
+					}
+				}
+				done <- nil
+			}()
+		}
+		for w := 0; w < 8; w++ {
+			if err := <-done; err != nil {
+				t.Fatalf("%s concurrent: %v", name, err)
+			}
+		}
+	}
+}
+
+var errMismatch = errorString("concurrent aggregate diverged")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestRandomCloudsAggregateIntoMatchesAggregate is a broader property sweep
+// across system sizes: for random (n, f, d) the two paths must agree
+// bit-for-bit on every rule that admits the pair.
+func TestRandomCloudsAggregateIntoMatchesAggregate(t *testing.T) {
+	rng := randx.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + int(rng.Uint64()%14) // 3..16
+		f := int(rng.Uint64()) % (n/2 + 1)
+		if f >= n {
+			f = n - 1
+		}
+		d := 1 + int(rng.Uint64()%200)
+		grads := cloudWithOutliers(n, f, d, 1, 0.3, 10, uint64(trial)+1)
+		for _, name := range Names() {
+			g, err := New(name, n, f)
+			if err != nil {
+				continue
+			}
+			want, err := g.Aggregate(grads)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			dst := make([]float64, d)
+			if err := AggregateInto(g, dst, grads); err != nil {
+				t.Fatalf("trial %d %s into: %v", trial, name, err)
+			}
+			for j := range dst {
+				if dst[j] != want[j] {
+					t.Fatalf("trial %d %s: coordinate %d differs", trial, name, j)
+				}
+			}
+		}
+	}
+}

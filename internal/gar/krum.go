@@ -15,27 +15,32 @@ func krumEta(n, f int) float64 {
 	return nf - ff + (ff*(nf-ff-2)+ff*ff*(nf-ff-1))/(nf-2*ff-2)
 }
 
-// krumScores computes, for every gradient, the Krum score: the sum of
+// krumScoresInto computes, for every gradient, the Krum score: the sum of
 // squared distances to its n − f − 2 nearest neighbours (self excluded).
-func krumScores(grads [][]float64, f int) []float64 {
+// The pairwise squared-distance (Gram) matrix and all score buffers come
+// from the scratch, so the steady state allocates nothing; the returned
+// slice aliases the scratch and is valid until the next krumScoresInto call
+// on the same scratch.
+func krumScoresInto(s *scratch, grads [][]float64, f int) []float64 {
 	n := len(grads)
-	dists := vecmath.PairwiseSqDists(grads)
+	gram := s.square(n)
+	vecmath.PairwiseSqDistsInto(gram, grads)
 	k := n - f - 2
-	scores := make([]float64, n)
-	row := make([]float64, 0, n-1)
+	scores := grow(&s.scores, n)
+	row := grow(&s.row, n-1)
 	for i := 0; i < n; i++ {
 		row = row[:0]
 		for j := 0; j < n; j++ {
 			if j != i {
-				row = append(row, dists[i][j])
+				row = append(row, gram[i][j])
 			}
 		}
 		sort.Float64s(row)
-		var s float64
+		var sum float64
 		for _, d := range row[:k] {
-			s += d
+			sum += d
 		}
-		scores[i] = s
+		scores[i] = sum
 	}
 	return scores
 }
@@ -47,7 +52,10 @@ type Krum struct {
 	n, f int
 }
 
-var _ GAR = (*Krum)(nil)
+var (
+	_ GAR            = (*Krum)(nil)
+	_ IntoAggregator = (*Krum)(nil)
+)
 
 // NewKrum returns the Krum rule.
 func NewKrum(n, f int) (*Krum, error) {
@@ -75,17 +83,25 @@ func (k *Krum) KF() float64 { return 1 / math.Sqrt(2*krumEta(k.n, k.f)) }
 
 // Aggregate implements GAR.
 func (k *Krum) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, k.n); err != nil {
-		return nil, err
+	return aggregateAlloc(k, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (k *Krum) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, k.n); err != nil {
+		return err
 	}
-	scores := krumScores(grads, k.f)
+	s := getScratch()
+	defer putScratch(s)
+	scores := krumScoresInto(s, grads, k.f)
 	best := 0
-	for i, s := range scores {
-		if s < scores[best] {
+	for i, sc := range scores {
+		if sc < scores[best] {
 			best = i
 		}
 	}
-	return vecmath.Clone(grads[best]), nil
+	copy(dst, grads[best])
+	return nil
 }
 
 // MultiKrum averages the m gradients with the smallest Krum scores
@@ -94,7 +110,10 @@ type MultiKrum struct {
 	n, f, m int
 }
 
-var _ GAR = (*MultiKrum)(nil)
+var (
+	_ GAR            = (*MultiKrum)(nil)
+	_ IntoAggregator = (*MultiKrum)(nil)
+)
 
 // NewMultiKrum returns Multi-Krum selecting the m best-scored gradients.
 // The canonical choice is m = n − f − 2.
@@ -129,23 +148,43 @@ func (mk *MultiKrum) KF() float64 { return 1 / math.Sqrt(2*krumEta(mk.n, mk.f)) 
 
 // Aggregate implements GAR.
 func (mk *MultiKrum) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, mk.n); err != nil {
-		return nil, err
-	}
-	selected := selectByScore(grads, krumScores(grads, mk.f), mk.m)
-	return vecmath.Mean(selected)
+	return aggregateAlloc(mk, grads)
 }
 
-// selectByScore returns the m gradients with the smallest scores.
-func selectByScore(grads [][]float64, scores []float64, m int) [][]float64 {
-	idx := make([]int, len(grads))
+// AggregateInto implements IntoAggregator.
+func (mk *MultiKrum) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, mk.n); err != nil {
+		return err
+	}
+	s := getScratch()
+	defer putScratch(s)
+	scores := krumScoresInto(s, grads, mk.f)
+	selected := selectByScore(grow(&s.selA, mk.m), grow(&s.intA, mk.n), grads, scores)
+	return vecmath.MeanInto(dst, selected)
+}
+
+// selectByScore fills out with the len(out) gradients carrying the smallest
+// scores, using idx (len(grads)) as index scratch. Ties break toward the
+// lower original index (compared explicitly, since selection-sort swaps
+// shuffle positions), so the selection is deterministic regardless of the
+// scratch's prior contents. Partial selection sort: m and n are both small
+// (tens).
+func selectByScore(out [][]float64, idx []int, grads [][]float64, scores []float64) [][]float64 {
+	n := len(grads)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	out := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		out[i] = grads[idx[i]]
+	m := len(out)
+	for a := 0; a < m; a++ {
+		best := a
+		for b := a + 1; b < n; b++ {
+			if scores[idx[b]] < scores[idx[best]] ||
+				(scores[idx[b]] == scores[idx[best]] && idx[b] < idx[best]) {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+		out[a] = grads[idx[a]]
 	}
 	return out
 }
@@ -159,7 +198,10 @@ type Bulyan struct {
 	n, f int
 }
 
-var _ GAR = (*Bulyan)(nil)
+var (
+	_ GAR            = (*Bulyan)(nil)
+	_ IntoAggregator = (*Bulyan)(nil)
+)
 
 // NewBulyan returns the Bulyan rule.
 func NewBulyan(n, f int) (*Bulyan, error) {
@@ -187,9 +229,16 @@ func (b *Bulyan) KF() float64 { return 1 / math.Sqrt(2*krumEta(b.n, b.f)) }
 
 // Aggregate implements GAR.
 func (b *Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, b.n); err != nil {
-		return nil, err
+	return aggregateAlloc(b, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (b *Bulyan) AggregateInto(dst []float64, grads [][]float64) error {
+	if err := checkAggInto(dst, grads, b.n); err != nil {
+		return err
 	}
+	s := getScratch()
+	defer putScratch(s)
 	theta := b.n - 2*b.f
 	beta := theta - 2*b.f
 	if beta < 1 {
@@ -198,16 +247,16 @@ func (b *Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
 	// Selection phase: repeatedly pick the best Krum candidate among the
 	// remaining gradients, as long as the remaining count supports a Krum
 	// neighbourhood; fall back to minimum-norm selection for the tail.
-	remaining := make([][]float64, len(grads))
+	remaining := grow(&s.selA, len(grads))
 	copy(remaining, grads)
-	selected := make([][]float64, 0, theta)
+	selected := grow(&s.selB, theta)[:0]
 	for len(selected) < theta {
 		var pick int
 		if len(remaining)-b.f-2 >= 1 {
-			scores := krumScores(remaining, b.f)
+			scores := krumScoresInto(s, remaining, b.f)
 			pick = 0
-			for i, s := range scores {
-				if s < scores[pick] {
+			for i, sc := range scores {
+				if sc < scores[pick] {
 					pick = i
 				}
 			}
@@ -222,5 +271,5 @@ func (b *Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
 		selected = append(selected, remaining[pick])
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 	}
-	return vecmath.MeanAroundMedian(selected, beta)
+	return vecmath.MeanAroundMedianInto(dst, selected, beta)
 }

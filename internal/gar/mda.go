@@ -27,7 +27,10 @@ type MDA struct {
 	MaxEnumerate int
 }
 
-var _ GAR = (*MDA)(nil)
+var (
+	_ GAR            = (*MDA)(nil)
+	_ IntoAggregator = (*MDA)(nil)
+)
 
 // NewMDA returns the MDA rule. It requires n > 2f (a majority of honest
 // workers), the standard condition for diameter-based filtering.
@@ -61,44 +64,52 @@ func (m *MDA) KF() float64 {
 
 // Aggregate implements GAR.
 func (m *MDA) Aggregate(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, m.n); err != nil {
-		return nil, err
-	}
-	if m.f == 0 {
-		return vecmath.Mean(grads)
-	}
-	dists := vecmath.PairwiseSqDists(grads)
-	k := m.n - m.f
-	var subset []int
-	if binomialAtMost(m.n, k, m.MaxEnumerate) {
-		subset = minDiameterExact(dists, m.n, k)
-	} else {
-		subset = minDiameterGreedy(dists, m.n, k)
-	}
-	chosen := make([][]float64, k)
-	for i, j := range subset {
-		chosen[i] = grads[j]
-	}
-	return vecmath.Mean(chosen)
+	return aggregateAlloc(m, grads)
+}
+
+// AggregateInto implements IntoAggregator.
+func (m *MDA) AggregateInto(dst []float64, grads [][]float64) error {
+	return m.aggregateInto(dst, grads, false)
 }
 
 // AggregateGreedy forces the greedy heuristic regardless of problem size;
 // used by the exact-vs-greedy ablation bench.
 func (m *MDA) AggregateGreedy(grads [][]float64) ([]float64, error) {
-	if err := checkInputs(grads, m.n); err != nil {
+	var d int
+	if len(grads) > 0 {
+		d = len(grads[0])
+	}
+	out := make([]float64, d)
+	if err := m.aggregateInto(out, grads, true); err != nil {
 		return nil, err
 	}
-	if m.f == 0 {
-		return vecmath.Mean(grads)
+	return out, nil
+}
+
+// aggregateInto is the shared MDA body; forceGreedy skips the exact search.
+func (m *MDA) aggregateInto(dst []float64, grads [][]float64, forceGreedy bool) error {
+	if err := checkAggInto(dst, grads, m.n); err != nil {
+		return err
 	}
-	dists := vecmath.PairwiseSqDists(grads)
+	if m.f == 0 {
+		return vecmath.MeanInto(dst, grads)
+	}
+	s := getScratch()
+	defer putScratch(s)
+	gram := s.square(m.n)
+	vecmath.PairwiseSqDistsInto(gram, grads)
 	k := m.n - m.f
-	subset := minDiameterGreedy(dists, m.n, k)
-	chosen := make([][]float64, k)
+	var subset []int
+	if !forceGreedy && binomialAtMost(m.n, k, m.MaxEnumerate) {
+		subset = minDiameterExact(gram, m.n, k, s)
+	} else {
+		subset = minDiameterGreedy(gram, m.n, k, s)
+	}
+	chosen := grow(&s.selA, k)
 	for i, j := range subset {
 		chosen[i] = grads[j]
 	}
-	return vecmath.Mean(chosen)
+	return vecmath.MeanInto(dst, chosen)
 }
 
 // binomialAtMost reports whether C(n, k) <= limit without overflowing.
@@ -117,61 +128,78 @@ func binomialAtMost(n, k, limit int) bool {
 	return true
 }
 
+// mdaSearch carries the state of the exact branch-and-bound subset search.
+// A struct with methods (rather than a recursive closure) keeps the search
+// allocation-free: the receiver lives on the caller's stack and the index
+// buffers come from the scratch pool.
+type mdaSearch struct {
+	dists    [][]float64
+	n, k     int
+	best     []int
+	cur      []int
+	bestDiam float64
+	bestScat float64
+}
+
 // minDiameterExact enumerates every k-subset of [0, n) and returns one with
 // the minimal squared diameter, with branch-and-bound pruning on the
 // running diameter. Ties on the diameter are broken by the subset's total
 // scatter (sum of pairwise squared distances), which makes the selection
 // invariant to the input order: two distinct subsets sharing both diameter
 // and scatter only occur on measure-zero inputs.
-func minDiameterExact(dists [][]float64, n, k int) []int {
-	best := make([]int, 0, k)
-	bestDiam := math.Inf(1)
-	bestScatter := math.Inf(1)
-	cur := make([]int, 0, k)
-
-	var recurse func(start int, curDiam, curScatter float64)
-	recurse = func(start int, curDiam, curScatter float64) {
-		if curDiam > bestDiam {
-			return // prune: cannot improve
-		}
-		if len(cur) == k {
-			if curDiam < bestDiam || (curDiam == bestDiam && curScatter < bestScatter) {
-				bestDiam = curDiam
-				bestScatter = curScatter
-				best = append(best[:0], cur...)
-			}
-			return
-		}
-		// Not enough remaining elements to complete the subset.
-		if n-start < k-len(cur) {
-			return
-		}
-		for i := start; i < n; i++ {
-			d, sc := curDiam, curScatter
-			for _, j := range cur {
-				dij := dists[i][j]
-				sc += dij
-				if dij > d {
-					d = dij
-				}
-			}
-			cur = append(cur, i)
-			recurse(i+1, d, sc)
-			cur = cur[:len(cur)-1]
-		}
+func minDiameterExact(dists [][]float64, n, k int, s *scratch) []int {
+	srch := mdaSearch{
+		dists:    dists,
+		n:        n,
+		k:        k,
+		best:     grow(&s.intA, k)[:0],
+		cur:      grow(&s.intB, k)[:0],
+		bestDiam: math.Inf(1),
+		bestScat: math.Inf(1),
 	}
-	recurse(0, 0, 0)
-	return best
+	srch.recurse(0, 0, 0)
+	return srch.best
+}
+
+func (m *mdaSearch) recurse(start int, curDiam, curScatter float64) {
+	if curDiam > m.bestDiam {
+		return // prune: cannot improve
+	}
+	if len(m.cur) == m.k {
+		if curDiam < m.bestDiam || (curDiam == m.bestDiam && curScatter < m.bestScat) {
+			m.bestDiam = curDiam
+			m.bestScat = curScatter
+			m.best = append(m.best[:0], m.cur...)
+		}
+		return
+	}
+	// Not enough remaining elements to complete the subset.
+	if m.n-start < m.k-len(m.cur) {
+		return
+	}
+	for i := start; i < m.n; i++ {
+		d, sc := curDiam, curScatter
+		for _, j := range m.cur {
+			dij := m.dists[i][j]
+			sc += dij
+			if dij > d {
+				d = dij
+			}
+		}
+		m.cur = append(m.cur, i)
+		m.recurse(i+1, d, sc)
+		m.cur = m.cur[:len(m.cur)-1]
+	}
 }
 
 // minDiameterGreedy evaluates, for each gradient i, the candidate subset
 // {i} ∪ {its k−1 nearest neighbours} and returns the candidate with the
 // smallest diameter. O(n²·k) after the O(n²·d) distance matrix.
-func minDiameterGreedy(dists [][]float64, n, k int) []int {
+func minDiameterGreedy(dists [][]float64, n, k int, s *scratch) []int {
 	bestDiam := math.Inf(1)
 	bestScatter := math.Inf(1)
-	var best []int
-	order := make([]int, n)
+	order := grow(&s.intA, n)
+	best := grow(&s.intB, k)[:0]
 	for i := 0; i < n; i++ {
 		// Select indices of the k nearest (including i itself, distance 0).
 		for j := range order {
@@ -204,7 +232,7 @@ func minDiameterGreedy(dists [][]float64, n, k int) []int {
 		if diam < bestDiam || (diam == bestDiam && scatter < bestScatter) {
 			bestDiam = diam
 			bestScatter = scatter
-			best = append(best[:0:0], cand...)
+			best = append(best[:0], cand...)
 		}
 	}
 	return best

@@ -1,0 +1,8 @@
+//go:build !race
+
+package gar
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race, sync.Pool deliberately drops entries to expose lifetime
+// bugs, so allocation-count assertions are skipped there.
+const raceEnabled = false

@@ -233,6 +233,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	velocity := make([]float64, d)
 	history := &metrics.History{}
 	submissions := make([][]float64, n)
+	// agg and honest are reused every step: together with the GAR's pooled
+	// AggregateInto path the steady-state loop allocates no gradient-sized
+	// slices per step.
+	agg := make([]float64, d)
+	honest := make([][]float64, 0, n)
 
 	predictor, _ := cfg.Model.(model.Predictor)
 
@@ -305,7 +310,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 		}
 
-		honest := make([][]float64, 0, n-computeFrom)
+		honest = honest[:0]
 		for i := computeFrom; i < n; i++ {
 			honest = append(honest, workers[i].grad)
 		}
@@ -325,8 +330,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			submissions[i] = workers[i].grad
 		}
 
-		agg, err := cfg.GAR.Aggregate(submissions)
-		if err != nil {
+		if err := gar.AggregateInto(cfg.GAR, agg, submissions); err != nil {
 			return nil, fmt.Errorf("simulate: step %d aggregate: %w", step, err)
 		}
 

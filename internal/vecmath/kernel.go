@@ -1,0 +1,229 @@
+package vecmath
+
+import (
+	"errors"
+	"sort"
+)
+
+// errEmptyInput is returned by the *Into kernels for an empty input matrix.
+var errEmptyInput = errors.New("vecmath: empty input matrix")
+
+// This file is the shared aggregation engine: every coordinate-wise robust
+// primitive (median, trimmed mean, mean-around-median) is one colReduce op
+// over the same gather-sort-reduce kernel, and the distance-based rules
+// share one parallel pairwise squared-distance (Gram) kernel. The kernels
+// split the d coordinates (respectively the n(n-1)/2 pairs) across up to
+// GOMAXPROCS goroutines with per-worker pooled scratch; below the parallel
+// grain they run inline with zero allocations. Results are bit-identical to
+// the sequential path because each output element is computed by exactly
+// one worker with the same operation order.
+
+// Column-reduction op codes.
+const (
+	opMedian = iota
+	opTrimmedMean
+	opMeamed
+)
+
+// colReduce selects and parameterizes the per-coordinate reduction applied
+// to each sorted column. A plain struct (rather than a closure) keeps the
+// inline path free of allocations.
+type colReduce struct {
+	op   int
+	trim int // opTrimmedMean: number of values dropped at each end
+	m    int // opMeamed: window size around the median
+}
+
+// apply reduces one sorted column to its output coordinate.
+func (r colReduce) apply(sorted []float64) float64 {
+	switch r.op {
+	case opTrimmedMean:
+		n := len(sorted)
+		var s float64
+		for _, x := range sorted[r.trim : n-r.trim] {
+			s += x
+		}
+		return s / float64(n-2*r.trim)
+	case opMeamed:
+		return meamedSorted(sorted, r.m)
+	default:
+		return MedianSorted(sorted)
+	}
+}
+
+// MedianSorted returns the median of an already-sorted column. For even
+// counts it returns the average of the two middle elements. This is the one
+// place the median definition lives.
+func MedianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// meamedSorted returns the average of the m values of a sorted column
+// closest to its median (the "Meamed" primitive of Xie et al. 2018). The
+// column is sorted, so the m nearest values form a contiguous window; the
+// window is slid to its minimum-width position.
+func meamedSorted(sorted []float64, m int) float64 {
+	n := len(sorted)
+	med := MedianSorted(sorted)
+	bestStart := 0
+	bestWidth := windowWidth(sorted, med, 0, m)
+	for s := 1; s+m <= n; s++ {
+		if w := windowWidth(sorted, med, s, m); w < bestWidth {
+			bestWidth = w
+			bestStart = s
+		}
+	}
+	var sum float64
+	for _, x := range sorted[bestStart : bestStart+m] {
+		sum += x
+	}
+	return sum / float64(m)
+}
+
+// windowWidth returns the maximum distance from med to the endpoints of the
+// window col[s : s+m] of a sorted column.
+func windowWidth(col []float64, med float64, s, m int) float64 {
+	lo := med - col[s]
+	hi := col[s+m-1] - med
+	if lo > hi {
+		return lo
+	}
+	return hi
+}
+
+// checkRect validates that vs is a non-empty rectangular matrix and returns
+// the shared dimension. Hoisting this single pass out of the per-coordinate
+// loops removes the O(n·d) redundant length checks the kernels used to pay.
+func checkRect(vs [][]float64) (int, error) {
+	d := len(vs[0])
+	for _, v := range vs {
+		if len(v) != d {
+			return 0, ErrDimensionMismatch
+		}
+	}
+	return d, nil
+}
+
+// reduceSortedColumns writes red.apply(sorted column j) into dst[j] for
+// every coordinate j, splitting the coordinate range across workers. vs
+// must be rectangular (checkRect) with len(dst) == len(vs[0]).
+func reduceSortedColumns(dst []float64, vs [][]float64, red colReduce) {
+	d := len(dst)
+	if w := ChunkWorkers(d); w > 1 {
+		RunChunked(d, w, func(lo, hi int) {
+			reduceSortedColumnsRange(dst, vs, red, lo, hi)
+		})
+		return
+	}
+	reduceSortedColumnsRange(dst, vs, red, 0, d)
+}
+
+// reduceSortedColumnsRange is the sequential kernel body over coordinates
+// [lo, hi); it gathers each column into pooled scratch, sorts it and applies
+// the reduction.
+func reduceSortedColumnsRange(dst []float64, vs [][]float64, red colReduce, lo, hi int) {
+	p := getCol(len(vs))
+	col := *p
+	for j := lo; j < hi; j++ {
+		for i, v := range vs {
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		dst[j] = red.apply(col)
+	}
+	putCol(p)
+}
+
+// MeanInto stores the coordinate-wise mean of vs into dst without
+// allocating. It returns an error when vs is empty, the vectors disagree on
+// dimension, or dst has the wrong length.
+func MeanInto(dst []float64, vs [][]float64) error {
+	d, err := checkDst(dst, vs)
+	if err != nil {
+		return err
+	}
+	if w := ChunkWorkers(d); w > 1 {
+		RunChunked(d, w, func(lo, hi int) {
+			meanRange(dst, vs, lo, hi)
+		})
+		return nil
+	}
+	meanRange(dst, vs, 0, d)
+	return nil
+}
+
+// meanRange accumulates the mean over coordinates [lo, hi).
+func meanRange(dst []float64, vs [][]float64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		dst[j] = 0
+	}
+	for _, v := range vs {
+		for j := lo; j < hi; j++ {
+			dst[j] += v[j]
+		}
+	}
+	inv := 1.0 / float64(len(vs))
+	for j := lo; j < hi; j++ {
+		dst[j] *= inv
+	}
+}
+
+// checkDst validates a destination buffer against a non-empty rectangular
+// input matrix and returns the shared dimension.
+func checkDst(dst []float64, vs [][]float64) (int, error) {
+	if len(vs) == 0 {
+		return 0, errEmptyInput
+	}
+	d, err := checkRect(vs)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) != d {
+		return 0, ErrDimensionMismatch
+	}
+	return d, nil
+}
+
+// PairwiseSqDistsInto fills the n×n matrix dst with squared Euclidean
+// distances between the vectors in vs (dst[i][j] = ‖vs[i]−vs[j]‖²) without
+// allocating. Rows are distributed across workers in strides so the
+// triangular work balances; each pair is computed exactly once, keeping the
+// result bit-identical to the sequential path.
+func PairwiseSqDistsInto(dst [][]float64, vs [][]float64) [][]float64 {
+	n := len(vs)
+	d := 0
+	if n > 0 {
+		d = len(vs[0])
+	}
+	w := ChunkWorkers(n * (n - 1) / 2 * d)
+	if w > n {
+		w = n
+	}
+	if w > 1 {
+		RunStriped(w, func(c int) {
+			pairwiseRows(dst, vs, c, w)
+		})
+		return dst
+	}
+	pairwiseRows(dst, vs, 0, 1)
+	return dst
+}
+
+// pairwiseRows computes the rows owned by worker c out of w (rows c, c+w,
+// c+2w, …). The owner of row i writes dst[i][j] and the mirror dst[j][i]
+// for all j > i; no element is written by two workers.
+func pairwiseRows(dst [][]float64, vs [][]float64, c, w int) {
+	n := len(vs)
+	for i := c; i < n; i += w {
+		dst[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			dv := SqDist(vs[i], vs[j])
+			dst[i][j] = dv
+			dst[j][i] = dv
+		}
+	}
+}

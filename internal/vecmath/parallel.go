@@ -1,0 +1,144 @@
+package vecmath
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelGrain is the minimum number of coordinates a worker must
+// receive before the kernels fan out to an extra goroutine. Below one grain
+// everything runs inline on the calling goroutine, which also keeps the
+// hot-path *Into kernels allocation-free (goroutine fan-out costs a handful
+// of small allocations).
+const DefaultParallelGrain = 4096
+
+var (
+	// parallelWorkers caps the number of goroutines per kernel invocation;
+	// 0 means runtime.GOMAXPROCS(0), resolved at call time.
+	parallelWorkers atomic.Int64
+	// parallelGrain is the per-worker coordinate floor; 0 means
+	// DefaultParallelGrain.
+	parallelGrain atomic.Int64
+)
+
+// SetParallelism caps the number of goroutines the chunked kernels may use.
+// workers <= 0 restores the default (runtime.GOMAXPROCS at call time).
+// SetParallelism(1) forces every kernel onto the calling goroutine, which is
+// also the fully allocation-free configuration.
+func SetParallelism(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	parallelWorkers.Store(int64(workers))
+}
+
+// Parallelism returns the current goroutine cap for the chunked kernels.
+func Parallelism() int {
+	if w := int(parallelWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelGrain sets the minimum coordinates-per-worker before the
+// kernels spawn an extra goroutine. coords <= 0 restores
+// DefaultParallelGrain. Tests lower it to exercise the parallel path on
+// small inputs.
+func SetParallelGrain(coords int) {
+	if coords < 0 {
+		coords = 0
+	}
+	parallelGrain.Store(int64(coords))
+}
+
+// ParallelGrain returns the current per-worker coordinate floor.
+func ParallelGrain() int {
+	if g := int(parallelGrain.Load()); g > 0 {
+		return g
+	}
+	return DefaultParallelGrain
+}
+
+// ChunkWorkers returns how many goroutines a kernel over `work` units should
+// use: never more than the configured cap and never so many that a worker
+// gets less than one grain of work. Callers with a zero-alloc fast path
+// should handle a result of 1 by calling their sequential body directly.
+func ChunkWorkers(work int) int {
+	g := ParallelGrain()
+	byGrain := work / g
+	if byGrain <= 1 {
+		return 1
+	}
+	if w := Parallelism(); w < byGrain {
+		byGrain = w
+	}
+	if byGrain < 1 {
+		return 1
+	}
+	return byGrain
+}
+
+// chunkBounds splits [0, n) into w near-equal contiguous chunks and returns
+// the half-open bounds of chunk c.
+func chunkBounds(n, w, c int) (lo, hi int) {
+	size := n / w
+	rem := n % w
+	lo = c*size + min(c, rem)
+	hi = lo + size
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// RunChunked executes fn over [0, n) split into w chunks on w goroutines.
+// Callers handle the w == 1 case inline themselves (calling a top-level
+// range function directly) so that the sequential path never builds a
+// closure and stays allocation-free.
+func RunChunked(n, w int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		lo, hi := chunkBounds(n, w, c)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RunStriped executes fn(worker) for worker = 0..w-1 on w goroutines.
+// Kernels whose per-item cost is unbalanced (e.g. triangular pairwise
+// loops) use the worker index as a stride class instead of a contiguous
+// chunk. Callers handle w == 1 inline themselves, as with RunChunked.
+func RunStriped(w int, fn func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		go func(c int) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// colPool recycles the per-worker column scratch used by the sorted-column
+// kernels. Entries are *[]float64 so that Get/Put never allocate on the
+// steady state of a training loop (all columns share the worker count n).
+var colPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getCol returns a pooled scratch slice of length n.
+func getCol(n int) *[]float64 {
+	p := colPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putCol returns a scratch slice to the pool.
+func putCol(p *[]float64) { colPool.Put(p) }

@@ -1,97 +1,70 @@
 package vecmath
 
-import (
-	"errors"
-	"sort"
-)
+import "errors"
 
 // TrimmedCoordMean returns the coordinate-wise b-trimmed mean of vs: on each
 // coordinate the b largest and b smallest values are discarded and the
 // remaining n-2b values averaged. This is the Trimmed Mean aggregation
 // primitive of Yin et al. (2018). It returns an error when 2b >= len(vs).
 func TrimmedCoordMean(vs [][]float64, b int) ([]float64, error) {
-	n := len(vs)
-	if n == 0 {
+	if len(vs) == 0 {
 		return nil, errors.New("vecmath: trimmed mean of zero vectors")
 	}
-	if b < 0 {
-		return nil, errors.New("vecmath: negative trim count")
-	}
-	if 2*b >= n {
-		return nil, errors.New("vecmath: trim count too large")
-	}
-	d := len(vs[0])
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				return nil, ErrDimensionMismatch
-			}
-			col[i] = v[j]
-		}
-		sort.Float64s(col)
-		var s float64
-		for _, x := range col[b : n-b] {
-			s += x
-		}
-		out[j] = s / float64(n-2*b)
+	out := make([]float64, len(vs[0]))
+	if err := TrimmedCoordMeanInto(out, vs, b); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TrimmedCoordMeanInto stores the coordinate-wise b-trimmed mean of vs into
+// dst without allocating gradient-sized scratch.
+func TrimmedCoordMeanInto(dst []float64, vs [][]float64, b int) error {
+	n := len(vs)
+	if n == 0 {
+		return errors.New("vecmath: trimmed mean of zero vectors")
+	}
+	if b < 0 {
+		return errors.New("vecmath: negative trim count")
+	}
+	if 2*b >= n {
+		return errors.New("vecmath: trim count too large")
+	}
+	if _, err := checkDst(dst, vs); err != nil {
+		return err
+	}
+	reduceSortedColumns(dst, vs, colReduce{op: opTrimmedMean, trim: b})
+	return nil
 }
 
 // MeanAroundMedian returns, per coordinate, the average of the m values
 // closest to the coordinate-wise median. This is the "Meamed" primitive of
 // Xie et al. (2018). It returns an error when m is outside [1, len(vs)].
 func MeanAroundMedian(vs [][]float64, m int) ([]float64, error) {
-	n := len(vs)
-	if n == 0 {
+	if len(vs) == 0 {
 		return nil, errors.New("vecmath: meamed of zero vectors")
 	}
-	if m < 1 || m > n {
-		return nil, errors.New("vecmath: meamed count out of range")
-	}
-	d := len(vs[0])
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				return nil, ErrDimensionMismatch
-			}
-			col[i] = v[j]
-		}
-		sort.Float64s(col)
-		med := col[n/2]
-		if n%2 == 0 {
-			med = (col[n/2-1] + col[n/2]) / 2
-		}
-		// The column is sorted, so the m values nearest the median form a
-		// contiguous window; slide it to the minimum-width position.
-		bestStart := 0
-		bestWidth := windowWidth(col, med, 0, m)
-		for s := 1; s+m <= n; s++ {
-			if w := windowWidth(col, med, s, m); w < bestWidth {
-				bestWidth = w
-				bestStart = s
-			}
-		}
-		var sum float64
-		for _, x := range col[bestStart : bestStart+m] {
-			sum += x
-		}
-		out[j] = sum / float64(m)
+	out := make([]float64, len(vs[0]))
+	if err := MeanAroundMedianInto(out, vs, m); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// windowWidth returns the maximum distance from med to the endpoints of the
-// window col[s : s+m] of a sorted column.
-func windowWidth(col []float64, med float64, s, m int) float64 {
-	lo := med - col[s]
-	hi := col[s+m-1] - med
-	if lo > hi {
-		return lo
+// MeanAroundMedianInto stores the per-coordinate average of the m values
+// closest to the coordinate-wise median of vs into dst without allocating
+// gradient-sized scratch.
+func MeanAroundMedianInto(dst []float64, vs [][]float64, m int) error {
+	n := len(vs)
+	if n == 0 {
+		return errors.New("vecmath: meamed of zero vectors")
 	}
-	return hi
+	if m < 1 || m > n {
+		return errors.New("vecmath: meamed count out of range")
+	}
+	if _, err := checkDst(dst, vs); err != nil {
+		return err
+	}
+	reduceSortedColumns(dst, vs, colReduce{op: opMeamed, m: m})
+	return nil
 }

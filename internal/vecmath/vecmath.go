@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // ErrDimensionMismatch is returned by checked entry points when two vectors
@@ -210,19 +209,9 @@ func Mean(vs [][]float64) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("vecmath: mean of zero vectors")
 	}
-	d := len(vs[0])
-	out := make([]float64, d)
-	for _, v := range vs {
-		if len(v) != d {
-			return nil, ErrDimensionMismatch
-		}
-		for i, x := range v {
-			out[i] += x
-		}
-	}
-	inv := 1.0 / float64(len(vs))
-	for i := range out {
-		out[i] *= inv
+	out := make([]float64, len(vs[0]))
+	if err := MeanInto(out, vs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -232,30 +221,21 @@ func CoordMedian(vs [][]float64) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("vecmath: median of zero vectors")
 	}
-	d := len(vs[0])
-	out := make([]float64, d)
-	col := make([]float64, len(vs))
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				return nil, ErrDimensionMismatch
-			}
-			col[i] = v[j]
-		}
-		out[j] = medianInPlace(col)
+	out := make([]float64, len(vs[0]))
+	if err := CoordMedianInto(out, vs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// medianInPlace sorts col and returns its median. For even counts it returns
-// the average of the two middle elements.
-func medianInPlace(col []float64) float64 {
-	sort.Float64s(col)
-	m := len(col)
-	if m%2 == 1 {
-		return col[m/2]
+// CoordMedianInto stores the coordinate-wise median of vs into dst without
+// allocating gradient-sized scratch.
+func CoordMedianInto(dst []float64, vs [][]float64) error {
+	if _, err := checkDst(dst, vs); err != nil {
+		return err
 	}
-	return (col[m/2-1] + col[m/2]) / 2
+	reduceSortedColumns(dst, vs, colReduce{op: opMedian})
+	return nil
 }
 
 // CoordStd returns the coordinate-wise (population) standard deviation of
@@ -285,17 +265,11 @@ func CoordStd(vs [][]float64) ([]float64, error) {
 func PairwiseSqDists(vs [][]float64) [][]float64 {
 	n := len(vs)
 	m := make([][]float64, n)
+	flat := make([]float64, n*n)
 	for i := range m {
-		m[i] = make([]float64, n)
+		m[i] = flat[i*n : (i+1)*n]
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := SqDist(vs[i], vs[j])
-			m[i][j] = d
-			m[j][i] = d
-		}
-	}
-	return m
+	return PairwiseSqDistsInto(m, vs)
 }
 
 // Diameter returns the maximum pairwise Euclidean distance among vs.
