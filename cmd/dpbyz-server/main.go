@@ -30,31 +30,39 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
-		garName  = flag.String("gar", "mda", "aggregation rule")
-		n        = flag.Int("n", 5, "total workers")
-		f        = flag.Int("f", 1, "max Byzantine workers")
-		dim      = flag.Int("dim", 69, "model dimension d")
-		steps    = flag.Int("steps", 200, "synchronous rounds")
-		lr       = flag.Float64("lr", 2, "learning rate")
-		momentum = flag.Float64("momentum", 0.99, "momentum coefficient")
-		timeout  = flag.Duration("round-timeout", 10*time.Second, "per-round gradient deadline")
-		verbose  = flag.Bool("v", false, "log per-round progress")
+		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
+		transport = flag.String("transport", "tcp", "wire transport (tcp; the in-process chan transport is embed/test-only)")
+		maxFrame  = flag.Int("max-frame-mb", 0, "frame size cap in MiB (0 = default 64)")
+		garName   = flag.String("gar", "mda", "aggregation rule")
+		n         = flag.Int("n", 5, "total workers")
+		f         = flag.Int("f", 1, "max Byzantine workers")
+		dim       = flag.Int("dim", 69, "model dimension d")
+		steps     = flag.Int("steps", 200, "synchronous rounds")
+		lr        = flag.Float64("lr", 2, "learning rate")
+		momentum  = flag.Float64("momentum", 0.99, "momentum coefficient")
+		timeout   = flag.Duration("round-timeout", 10*time.Second, "per-round gradient deadline")
+		verbose   = flag.Bool("v", false, "log per-round progress")
 	)
 	flag.Parse()
 
+	if *transport != "tcp" {
+		return fmt.Errorf("unknown transport %q (cross-process deployments are TCP; "+
+			"use cluster.ChanTransport from Go for in-process runs)", *transport)
+	}
 	g, err := gar.New(*garName, *n, *f)
 	if err != nil {
 		return err
 	}
 	cfg := cluster.ServerConfig{
-		Addr:         *addr,
-		GAR:          g,
-		Dim:          *dim,
-		Steps:        *steps,
-		LearningRate: *lr,
-		Momentum:     *momentum,
-		RoundTimeout: *timeout,
+		Addr:          *addr,
+		Transport:     cluster.TCPTransport{},
+		MaxFrameBytes: *maxFrame << 20,
+		GAR:           g,
+		Dim:           *dim,
+		Steps:         *steps,
+		LearningRate:  *lr,
+		Momentum:      *momentum,
+		RoundTimeout:  *timeout,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -31,6 +31,8 @@ func main() {
 func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7001", "server address")
+		transport = flag.String("transport", "tcp", "wire transport (tcp; the in-process chan transport is embed/test-only)")
+		maxFrame  = flag.Int("max-frame-mb", 0, "frame size cap in MiB (0 = default 64)")
 		id        = flag.Int("id", 0, "worker id in [0, n)")
 		batch     = flag.Int("batch", 50, "batch size b")
 		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
@@ -45,6 +47,10 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *transport != "tcp" {
+		return fmt.Errorf("unknown transport %q (cross-process deployments are TCP; "+
+			"use cluster.ChanTransport from Go for in-process runs)", *transport)
+	}
 	if *seed == 0 {
 		*seed = uint64(*id + 1)
 	}
@@ -71,13 +77,15 @@ func run() error {
 	}
 
 	cfg := cluster.WorkerConfig{
-		Addr:      *addr,
-		WorkerID:  *id,
-		Model:     m,
-		Train:     ds,
-		BatchSize: *batch,
-		ClipNorm:  *clip,
-		Seed:      *seed,
+		Addr:          *addr,
+		Transport:     cluster.TCPTransport{},
+		MaxFrameBytes: *maxFrame << 20,
+		WorkerID:      *id,
+		Model:         m,
+		Train:         ds,
+		BatchSize:     *batch,
+		ClipNorm:      *clip,
+		Seed:          *seed,
 	}
 	if *dpOn {
 		mech, merr := dp.NewGaussian(*clip, *batch, dp.Budget{Epsilon: *epsilon, Delta: *delta})

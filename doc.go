@@ -59,5 +59,29 @@
 // fan-out only the dispatch itself allocates. Parallel results are
 // bit-identical to the sequential path.
 //
+// # Cluster deployments: in-process vs. real TCP
+//
+// The networked realization (internal/cluster, cmd/dpbyz-server,
+// cmd/dpbyz-worker) speaks a compact versioned binary frame protocol
+// (raw little-endian float64 payloads, hard cap on declared frame sizes;
+// see internal/cluster/protocol.go for the layout) over a pluggable
+// Transport:
+//
+//   - Real deployments use TCP: start cmd/dpbyz-server, then one
+//     cmd/dpbyz-worker process per worker. This is the default transport
+//     and needs no flags; -max-frame-mb adjusts the frame-size cap when
+//     the model dimension is very large.
+//   - Tests and benchmarks embed the cluster in one process with
+//     cluster.NewChanTransport: hundreds of workers as goroutines, no
+//     sockets, and — via ChanTransport.WithFaults — adversarial channels
+//     (drop, duplicate, reorder, delay, corrupt, truncate per frame) that
+//     exercise the unreliable non-FIFO links of the paper's system model
+//     (§2.1). The 64-worker chaos test and the cluster round benchmark
+//     in internal/cluster show the pattern.
+//
+// Both paths share the same Server and RunWorker code; framing and
+// per-round processing reuse caller-owned buffers, so the steady-state
+// round loop allocates no gradient-sized memory on either transport.
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package dpbyz

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/data"
+	"dpbyz/internal/model"
+	"dpbyz/internal/vecmath"
+)
+
+// TestClusterChaos64Workers is the adversarial-network scale test: 64
+// in-process workers with a mix of Byzantine attackers, crashers,
+// stragglers, a wrong-dimension peer, and honest workers behind lossy,
+// duplicating, reordering, delaying links — the §2.1 channel model the
+// TCP tests could never exercise. The honest majority must still learn,
+// every stale/duplicate/bad-dimension submission must be discarded, and
+// the missed-gradient accounting must balance exactly.
+func TestClusterChaos64Workers(t *testing.T) {
+	const (
+		n         = 64
+		f         = 8 // Byzantine workers (ids 0..7)
+		steps     = 25
+		crashers  = 6  // ids 8..13, die after 3 rounds
+		straggler = 6  // ids 14..19, always past the round deadline
+		faulty    = 10 // ids 20..29, honest over chaotic links
+		// id 30 submits wrong-dimension gradients; 31..63 honest and clean.
+	)
+	tr := NewChanTransport()
+	ds := testDataset(t)
+	m := testModel(t)
+
+	smallModel, err := model.NewLogisticMSE(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallDS, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{N: 100, Features: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvCfg := ServerConfig{
+		Addr:         "chaos",
+		Transport:    tr,
+		GAR:          mustGAR(t, "trimmedmean", n, f),
+		Dim:          m.Dim(),
+		Steps:        steps,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 250 * time.Millisecond,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			Transport: tr,
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 20,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+		switch {
+		case i < f:
+			workers[i].Attack = attack.NewSignFlip()
+		case i < f+crashers:
+			workers[i].MaxRounds = 3
+		case i < f+crashers+straggler:
+			workers[i].RoundDelay = 600 * time.Millisecond
+		case i < f+crashers+straggler+faulty:
+			// SkipFirst 1 keeps the hello (and the first broadcast) reliable:
+			// connection setup succeeds, every round after runs over a lossy,
+			// duplicating, reordering, jittering link in both directions.
+			workers[i].Transport = tr.WithFaults(
+				FaultConfig{Seed: uint64(100 + i), SkipFirst: 1, DropProb: 0.15, DupProb: 0.2, ReorderProb: 0.2, Delay: 5 * time.Millisecond, DelayJitter: 20 * time.Millisecond},
+				FaultConfig{Seed: uint64(200 + i), SkipFirst: 1, DropProb: 0.15, DupProb: 0.2, ReorderProb: 0.2, Delay: 5 * time.Millisecond, DelayJitter: 20 * time.Millisecond},
+			)
+		case i == f+crashers+straggler+faulty:
+			workers[i].Model = smallModel
+			workers[i].Train = smallDS
+		}
+	}
+
+	srvRes, workerRes, workerErrs := launch(t, srvCfg, workers)
+
+	if got := srvRes.History.Len(); got != steps {
+		t.Errorf("server finished %d rounds, want %d", got, steps)
+	}
+	// The honest majority must have learned despite the chaos.
+	loss := model.DatasetLoss(m, srvRes.Params, ds)
+	if loss >= 0.25 {
+		t.Errorf("final dataset loss %v did not improve on the 0.25 start", loss)
+	}
+	// Accounting must balance exactly: every (worker, round) slot was either
+	// aggregated or replaced by the zero vector — nothing double-counted,
+	// nothing lost, no matter what the channels did.
+	if got, want := srvRes.AcceptedGradients+srvRes.MissedGradients, n*steps; got != want {
+		t.Errorf("accepted %d + missed %d = %d, want exactly %d",
+			srvRes.AcceptedGradients, srvRes.MissedGradients, got, want)
+	}
+	// Deterministic lower bounds: each crasher misses steps-3 rounds, the
+	// stragglers and the wrong-dimension worker miss every round.
+	if minMissed := crashers*(steps-3) + straggler*steps + steps; srvRes.MissedGradients < minMissed {
+		t.Errorf("missed gradients = %d, want >= %d", srvRes.MissedGradients, minMissed)
+	}
+	// Stragglers alone guarantee stale discards; the wrong-dimension worker
+	// guarantees bad-dimension discards.
+	if srvRes.DiscardedSubmissions == 0 {
+		t.Error("no submissions discarded under a duplicating/reordering network")
+	}
+	// Clean honest workers must finish every round with the final model and
+	// no error.
+	for i := f + crashers + straggler + faulty + 1; i < n; i++ {
+		if workerErrs[i] != nil {
+			t.Errorf("clean worker %d: %v", i, workerErrs[i])
+			continue
+		}
+		if workerRes[i].Rounds != steps {
+			t.Errorf("clean worker %d rounds = %d, want %d", i, workerRes[i].Rounds, steps)
+		}
+		if !vecmath.ApproxEqual(workerRes[i].FinalParams, srvRes.Params, 0) {
+			t.Errorf("clean worker %d final params differ from server", i)
+		}
+	}
+	// Crashers really crashed.
+	for i := f; i < f+crashers; i++ {
+		if workerRes[i] != nil && workerRes[i].Rounds != 3 {
+			t.Errorf("crasher %d rounds = %d, want 3", i, workerRes[i].Rounds)
+		}
+	}
+}
+
+// TestClusterSteadyStateAllocationGate pins the zero-alloc discipline end
+// to end: once a run is warm, one additional training round (server round
+// loop + reader goroutines + n worker loops over the in-process transport)
+// must allocate far less than one gradient-sized slice. Gob framing used
+// to cost ~2·n·d float64s per round; the binary codec plus buffer reuse
+// must stay under d floats total.
+func TestClusterSteadyStateAllocationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs full runs")
+	}
+	const (
+		n           = 8
+		dim         = 4097 // weights dim for 4096 features
+		short, long = 4, 24
+	)
+	// Force the sequential (fully allocation-free) aggregation path so the
+	// measurement isn't clouded by the parallel engine's dispatch.
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+
+	ds, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{N: 200, Features: dim - 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLogisticMSE(dim - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(steps int) {
+		tr := NewChanTransport()
+		srvCfg := ServerConfig{
+			Addr:         "alloc",
+			Transport:    tr,
+			GAR:          mustGAR(t, "average", n, 0),
+			Dim:          m.Dim(),
+			Steps:        steps,
+			LearningRate: 0.1,
+			RoundTimeout: 10 * time.Second,
+		}
+		workers := make([]WorkerConfig, n)
+		for i := range workers {
+			workers[i] = WorkerConfig{
+				Transport: tr,
+				WorkerID:  i,
+				Model:     m,
+				Train:     ds,
+				BatchSize: 10,
+				ClipNorm:  0.01,
+				Seed:      uint64(i + 1),
+			}
+		}
+		srvRes, _, workerErrs := launch(t, srvCfg, workers)
+		for i, werr := range workerErrs {
+			if werr != nil {
+				t.Fatalf("worker %d: %v", i, werr)
+			}
+		}
+		if srvRes.MissedGradients != 0 {
+			t.Fatalf("missed gradients = %d on a reliable transport", srvRes.MissedGradients)
+		}
+	}
+
+	run(2) // warm the scratch pools
+	var before, mid, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run(short)
+	runtime.ReadMemStats(&mid)
+	run(long)
+	runtime.ReadMemStats(&after)
+
+	shortAlloc := mid.TotalAlloc - before.TotalAlloc
+	longAlloc := after.TotalAlloc - mid.TotalAlloc
+	if longAlloc < shortAlloc {
+		// Scratch reuse can make the longer run cheaper in absolute terms;
+		// then the marginal per-round cost is certainly fine.
+		return
+	}
+	perRound := float64(longAlloc-shortAlloc) / float64(long-short)
+	limit := float64(dim * 8 / 2) // half of one gradient-sized slice
+	t.Logf("marginal allocation per round: %.0f bytes (limit %.0f)", perRound, limit)
+	if perRound > limit {
+		t.Errorf("steady-state round allocates %.0f bytes, want < %.0f (no gradient-sized slices)",
+			perRound, limit)
+	}
+}
+
+// TestFinalParamsDoesNotAliasRecycledScratch is the regression test for
+// the WorkerResult.FinalParams aliasing bug: the worker's last decoded
+// Params lives in conn-owned scratch that is recycled to other connections
+// on close, so returning it without a copy would let a later connection
+// rewrite a result the caller already owns.
+func TestFinalParamsDoesNotAliasRecycledScratch(t *testing.T) {
+	const n = 2
+	tr := NewChanTransport()
+	ds := testDataset(t)
+	m := testModel(t)
+	srvCfg := ServerConfig{
+		Addr:         "alias",
+		Transport:    tr,
+		GAR:          mustGAR(t, "average", n, 0),
+		Dim:          m.Dim(),
+		Steps:        5,
+		LearningRate: 1,
+		RoundTimeout: 5 * time.Second,
+	}
+	workers := make([]WorkerConfig, n)
+	for i := range workers {
+		workers[i] = WorkerConfig{
+			Transport: tr,
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 10,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+	}
+	srvRes, workerRes, workerErrs := launch(t, srvCfg, workers)
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	want := append([]float64(nil), srvRes.Params...)
+	for i, wr := range workerRes {
+		if !vecmath.ApproxEqual(wr.FinalParams, want, 0) {
+			t.Fatalf("worker %d final params differ before scratch reuse", i)
+		}
+	}
+
+	// Poison every buffer the closed connections returned to the scratch
+	// pool. If any FinalParams aliased conn scratch, it corrupts now.
+	for _, buf := range drainScratchForTest() {
+		for i := range buf {
+			buf[i] = math.NaN()
+		}
+	}
+	for i, wr := range workerRes {
+		if !vecmath.ApproxEqual(wr.FinalParams, want, 0) {
+			t.Errorf("worker %d FinalParams aliases recycled decode scratch", i)
+		}
+	}
+}

@@ -89,6 +89,8 @@ func TestServerConfigValidation(t *testing.T) {
 		{name: "zero lr", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1}},
 		{name: "momentum 1", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, Momentum: 1}},
 		{name: "bad init", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, InitParams: []float64{1}}},
+		{name: "negative max frame", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, MaxFrameBytes: -1}},
+		{name: "max frame below dim", cfg: ServerConfig{GAR: g, Dim: 9, Steps: 1, LearningRate: 1, MaxFrameBytes: 16}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -114,6 +116,8 @@ func TestWorkerConfigValidation(t *testing.T) {
 		{name: "nil data", mutate: func(c *WorkerConfig) { c.Train = nil }},
 		{name: "zero batch", mutate: func(c *WorkerConfig) { c.BatchSize = 0 }},
 		{name: "negative clip", mutate: func(c *WorkerConfig) { c.ClipNorm = -1 }},
+		{name: "negative max frame", mutate: func(c *WorkerConfig) { c.MaxFrameBytes = -1 }},
+		{name: "max frame below model dim", mutate: func(c *WorkerConfig) { c.MaxFrameBytes = 16 }},
 		{name: "feature mismatch", mutate: func(c *WorkerConfig) {
 			mm, err := model.NewLogisticMSE(3)
 			if err != nil {
@@ -375,8 +379,7 @@ func TestServerRejectsDuplicateAndBadIDs(t *testing.T) {
 			return
 		}
 		c := newConn(raw)
-		bad := Hello{WorkerID: 99}
-		_ = c.send(envelope{Hello: &bad}, time.Now().Add(time.Second))
+		_ = c.sendHello(Hello{WorkerID: 99}, time.Now().Add(time.Second))
 		// The server closes this connection; wait for that.
 		_, _ = c.receive(time.Now().Add(2 * time.Second))
 		_ = c.close()

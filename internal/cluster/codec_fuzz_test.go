@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the exact stream path a conn uses — header parse,
+// cap check, payload read, payload decode — over arbitrary bytes. The
+// codec must never panic, never allocate a payload beyond the declared
+// cap, and must re-encode every frame it accepts into the identical bytes
+// (the frame layout is canonical).
+func FuzzDecodeFrame(f *testing.F) {
+	const maxFrame = 1 << 16
+
+	valid := [][]byte{
+		appendHelloFrame(nil, Hello{WorkerID: 3}),
+		appendParamsFrame(nil, Params{Step: 7, Weights: []float64{1.5, -2.25, 0}}),
+		appendParamsFrame(nil, Params{Step: 9, Done: true}),
+		appendGradientFrame(nil, Gradient{WorkerID: 1, Step: 2, Grad: []float64{3.25, -8}}),
+	}
+	for _, frame := range valid {
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])      // truncated payload
+		f.Add(frame[:frameHeaderSize-2]) // truncated header
+		flipped := append([]byte(nil), frame...)
+		flipped[2] ^= 0x10 // wrong version
+		f.Add(flipped)
+		flipped = append([]byte(nil), frame...)
+		flipped[len(flipped)-1] ^= 0x01 // bit-flipped payload tail
+		f.Add(flipped)
+	}
+	oversized := appendHeader(nil, msgGradient, 0)
+	binary.LittleEndian.PutUint32(oversized[4:8], maxFrame+1)
+	f.Add(oversized)
+	huge := appendHeader(nil, msgParams, 0)
+	binary.LittleEndian.PutUint32(huge[4:8], 0xFFFFFFFF)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		kind, n, err := parseHeader(hdr[:], maxFrame)
+		if err != nil {
+			return
+		}
+		if n > maxFrame {
+			t.Fatalf("parseHeader admitted %d payload bytes past the %d cap", n, maxFrame)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		var m message
+		if err := decodePayload(kind, payload, &m); err != nil {
+			if m.kind != msgInvalid {
+				t.Fatalf("failed decode left message kind %d", m.kind)
+			}
+			return
+		}
+		defer m.releaseScratch()
+		if got := len(m.params.Weights) * 8; got > maxFrame {
+			t.Fatalf("decoded weights occupy %d bytes, beyond the %d cap", got, maxFrame)
+		}
+		if got := len(m.gradient.Grad) * 8; got > maxFrame {
+			t.Fatalf("decoded gradient occupies %d bytes, beyond the %d cap", got, maxFrame)
+		}
+		out, err := appendMessageFrame(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if want := data[:frameHeaderSize+n]; !bytes.Equal(out, want) {
+			t.Fatalf("round trip not bit-identical:\n in  %x\n out %x", want, out)
+		}
+	})
+}

@@ -1,7 +1,7 @@
 // Package cluster is the networked realization of the paper's parameter
-// server model (Fig. 1): a TCP server that drives synchronous training
-// rounds and worker processes that connect to it, compute clipped,
-// DP-noised gradients and submit them each round.
+// server model (Fig. 1): a server that drives synchronous training rounds
+// and workers that connect to it, compute clipped, DP-noised gradients and
+// submit them each round.
 //
 // The protocol follows §2.1: training is divided into synchronous steps;
 // the server broadcasts the current parameter vector, waits for gradients
@@ -10,19 +10,55 @@
 // integrity only — gradients travel in the clear, as the paper's threat
 // model prescribes (Remark 1): privacy comes solely from the workers' own
 // noise injection.
+//
+// # Wire format
+//
+// Messages travel as length-prefixed binary frames (codec version 1). Every
+// frame opens with a fixed 8-byte header, all integers little-endian:
+//
+//	offset  size  field
+//	0       2     magic "DB" (0x44 0x42)
+//	2       1     protocol version (currently 1)
+//	3       1     message type (1 = hello, 2 = params, 3 = gradient)
+//	4       4     payload length in bytes (uint32)
+//
+// followed by the payload:
+//
+//	hello:     workerID uint32
+//	params:    step uint32 | flags uint8 (bit 0 = done) | dim uint32 | dim × float64
+//	gradient:  workerID uint32 | step uint32 | dim uint32 | dim × float64
+//
+// float64 values are raw little-endian IEEE-754 bits, so a d-dimensional
+// gradient costs exactly 8d+20 bytes and encodes/decodes with no
+// reflection and no per-message allocation: frames are built in and parsed
+// from caller-owned buffers that are reused across messages.
+//
+// A frame whose declared payload length exceeds the connection's cap
+// (DefaultMaxFrameBytes unless configured) is rejected before any payload
+// memory is read or allocated, so a hostile peer cannot force unbounded
+// allocation. Unknown magic, versions, message types, flag bits, or
+// payload/dimension mismatches fail the connection: the peer either speaks
+// a different protocol revision or the channel corrupted the stream, and
+// §2.1's loss semantics (missing gradient ⇒ zero vector) already cover a
+// dropped connection.
+//
+// The transport underneath is pluggable (see Transport): real TCP sockets
+// for deployments, or the in-process ChanTransport — optionally with
+// injected drop/duplicate/reorder/delay/corrupt faults — for tests and
+// benchmarks that run hundreds of workers in one process.
 package cluster
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"net"
+	"io"
+	"math"
 	"time"
 )
 
-// Protocol messages, gob-encoded over TCP. Every connection starts with a
-// Hello from the worker, after which the server sends one Params message
-// per round and the worker answers with one Gradient message.
+// Protocol messages. Every connection starts with a Hello from the worker,
+// after which the server sends one Params message per round and the worker
+// answers with one Gradient message.
 type (
 	// Hello announces a worker to the server.
 	Hello struct {
@@ -52,50 +88,118 @@ type (
 	}
 )
 
-// envelope wraps every message with a type tag so a single gob
-// encoder/decoder pair per connection can carry all message kinds.
-type envelope struct {
-	Hello    *Hello
-	Params   *Params
-	Gradient *Gradient
-}
-
 // Wire errors.
 var (
 	ErrBadMessage = errors.New("cluster: unexpected message type")
 	ErrBadHello   = errors.New("cluster: invalid hello")
 )
 
-// conn wraps a net.Conn with gob codecs and deadline helpers.
+// conn frames protocol messages over a transport connection. The encode
+// buffer, read buffer and decoded message storage are all owned by the
+// conn and reused, so steady-state sends and receives allocate nothing.
+// Consequently a *message returned by receive is only valid until the next
+// receive on the same conn.
+//
+// A conn is not safe for concurrent use, except that abort may be called
+// from any goroutine to unblock pending I/O.
 type conn struct {
-	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	raw      Conn
+	maxFrame int
+	hdr      [frameHeaderSize]byte
+	wbuf     []byte
+	rbuf     []byte
+	msg      message
+	released bool
 }
 
-func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+func newConn(raw Conn) *conn { return newConnMax(raw, DefaultMaxFrameBytes) }
+
+func newConnMax(raw Conn, maxFrame int) *conn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	// The header's length field is a uint32; a larger cap could never be
+	// declared (or encoded) faithfully.
+	if int64(maxFrame) > int64(math.MaxUint32) {
+		maxFrame = math.MaxUint32
+	}
+	return &conn{raw: raw, maxFrame: maxFrame}
 }
 
-func (c *conn) send(e envelope, deadline time.Time) error {
+func (c *conn) sendHello(h Hello, deadline time.Time) error {
+	c.wbuf = appendHelloFrame(c.wbuf[:0], h)
+	return c.writeFrame(deadline)
+}
+
+func (c *conn) sendParams(p Params, deadline time.Time) error {
+	// The writer honors the cap too: an oversized vector would otherwise
+	// wrap the uint32 length field and desync the peer's stream.
+	if n := 9 + 8*len(p.Weights); n > c.maxFrame {
+		return fmt.Errorf("%w: params payload %d bytes, cap %d", ErrFrameTooLarge, n, c.maxFrame)
+	}
+	c.wbuf = appendParamsFrame(c.wbuf[:0], p)
+	return c.writeFrame(deadline)
+}
+
+func (c *conn) sendGradient(g Gradient, deadline time.Time) error {
+	if n := 12 + 8*len(g.Grad); n > c.maxFrame {
+		return fmt.Errorf("%w: gradient payload %d bytes, cap %d", ErrFrameTooLarge, n, c.maxFrame)
+	}
+	c.wbuf = appendGradientFrame(c.wbuf[:0], g)
+	return c.writeFrame(deadline)
+}
+
+// writeFrame flushes the staged frame in a single Write call, which is
+// what lets message-oriented transports apply per-frame faults.
+func (c *conn) writeFrame(deadline time.Time) error {
 	if err := c.raw.SetWriteDeadline(deadline); err != nil {
 		return fmt.Errorf("cluster: set write deadline: %w", err)
 	}
-	if err := c.enc.Encode(&e); err != nil {
-		return fmt.Errorf("cluster: encode: %w", err)
+	if _, err := c.raw.Write(c.wbuf); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
 	}
 	return nil
 }
 
-func (c *conn) receive(deadline time.Time) (envelope, error) {
+// receive reads and decodes the next frame. The returned message (and any
+// vector inside it) is owned by the conn and valid only until the next
+// receive; callers that keep a vector must copy it.
+func (c *conn) receive(deadline time.Time) (*message, error) {
 	if err := c.raw.SetReadDeadline(deadline); err != nil {
-		return envelope{}, fmt.Errorf("cluster: set read deadline: %w", err)
+		return nil, fmt.Errorf("cluster: set read deadline: %w", err)
 	}
-	var e envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return envelope{}, fmt.Errorf("cluster: decode: %w", err)
+	if _, err := io.ReadFull(c.raw, c.hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: read frame header: %w", err)
 	}
-	return e, nil
+	kind, n, err := parseHeader(c.hdr[:], c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err := io.ReadFull(c.raw, c.rbuf); err != nil {
+		return nil, fmt.Errorf("cluster: read frame payload: %w", err)
+	}
+	if err := decodePayload(kind, c.rbuf, &c.msg); err != nil {
+		return nil, err
+	}
+	return &c.msg, nil
 }
 
-func (c *conn) close() error { return c.raw.Close() }
+// abort closes the underlying connection to unblock pending I/O. It is
+// safe to call from a goroutine concurrent with receive/send; it does NOT
+// recycle decode buffers (a concurrent receive may still be writing them).
+func (c *conn) abort() error { return c.raw.Close() }
+
+// close tears the connection down and recycles its decode scratch. Only
+// call once no goroutine is using the conn and no decoded vector is
+// referenced anymore; close is idempotent but not concurrency-safe.
+func (c *conn) close() error {
+	if !c.released {
+		c.released = true
+		c.msg.releaseScratch()
+	}
+	return c.raw.Close()
+}

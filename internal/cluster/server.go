@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpbyz/internal/gar"
@@ -18,10 +18,24 @@ import (
 // round before substituting zero vectors for the missing workers.
 const DefaultRoundTimeout = 10 * time.Second
 
+// submissionDepth is how many gradient buffers the server pre-allocates
+// per worker connection. Depth 1 covers the lock-step pipeline of an
+// honest worker; the extra slots absorb duplicated or reordered frames
+// from faulty channels. When a peer floods faster than the server
+// consumes, further frames are dropped (and counted), never buffered:
+// a hostile worker cannot force unbounded allocation.
+const submissionDepth = 3
+
 // ServerConfig configures the parameter server.
 type ServerConfig struct {
-	// Addr is the listen address, e.g. "127.0.0.1:0".
+	// Addr is the listen address in the transport's format, e.g.
+	// "127.0.0.1:0" for TCP.
 	Addr string
+	// Transport is the communication substrate (nil means TCP).
+	Transport Transport
+	// MaxFrameBytes caps the payload length a peer may declare (0 means
+	// DefaultMaxFrameBytes). It must fit a Dim-sized gradient frame.
+	MaxFrameBytes int
 	// GAR is the aggregation rule; its N() is the number of workers the
 	// server waits for before starting.
 	GAR gar.GAR
@@ -60,6 +74,28 @@ func (c *ServerConfig) validate() error {
 	if c.InitParams != nil && len(c.InitParams) != c.Dim {
 		return fmt.Errorf("cluster: init params dim %d, want %d", len(c.InitParams), c.Dim)
 	}
+	if err := validateMaxFrame(c.MaxFrameBytes, c.Dim); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateMaxFrame rejects frame caps that cannot carry a dim-sized
+// vector frame, or that overflow the header's uint32 length field.
+func validateMaxFrame(maxFrame, dim int) error {
+	if maxFrame < 0 {
+		return fmt.Errorf("cluster: negative max frame bytes %d", maxFrame)
+	}
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	if int64(maxFrame) > int64(math.MaxUint32) {
+		return fmt.Errorf("cluster: max frame bytes %d exceeds the uint32 length field", maxFrame)
+	}
+	if need := 12 + 8*dim; need > maxFrame {
+		return fmt.Errorf("cluster: max frame bytes %d cannot fit a dim-%d vector frame (%d bytes)",
+			maxFrame, dim, need)
+	}
 	return nil
 }
 
@@ -72,18 +108,25 @@ type ServerResult struct {
 	// the paper's model).
 	History *metrics.History
 	// MissedGradients counts (worker, round) pairs that timed out and were
-	// replaced by zero vectors.
+	// replaced by zero vectors. AcceptedGradients + MissedGradients equals
+	// exactly N×Steps for a completed run.
 	MissedGradients int
+	// AcceptedGradients counts submissions that entered aggregation.
+	AcceptedGradients int
+	// DiscardedSubmissions counts frames thrown away before aggregation:
+	// stale or future steps, duplicates, spoofed worker ids, wrong
+	// dimensions, or floods beyond the per-worker buffer depth.
+	DiscardedSubmissions int
 }
 
-// Server drives synchronous distributed SGD over TCP.
+// Server drives synchronous distributed SGD over a Transport.
 type Server struct {
 	cfg      ServerConfig
-	listener net.Listener
+	listener Listener
 	logf     func(string, ...any)
 }
 
-// NewServer binds the listen socket so that Addr() is known before any
+// NewServer binds the listen endpoint so that Addr() is known before any
 // worker starts. Call Run to begin training.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
@@ -92,9 +135,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = DefaultRoundTimeout
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	if cfg.Transport == nil {
+		cfg.Transport = DefaultTransport
+	}
+	ln, err := cfg.Transport.Listen(cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+		return nil, err
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -104,16 +150,28 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.listener.Addr().String() }
+func (s *Server) Addr() string { return s.listener.Addr() }
 
-// Close releases the listen socket. Run closes it on return; Close is for
-// aborting a server that never ran.
+// Close releases the listen endpoint. Run closes it on return; Close is
+// for aborting a server that never ran.
 func (s *Server) Close() error { return s.listener.Close() }
 
-// workerConn tracks one registered worker connection.
+// workerConn tracks one registered worker connection. free holds the
+// pre-allocated gradient buffers the reader goroutine copies submissions
+// into; the round loop hands buffers back after aggregation, so the
+// steady state allocates no gradient-sized slices.
 type workerConn struct {
-	id int
-	c  *conn
+	id   int
+	c    *conn
+	free chan []float64
+}
+
+// submission is one gradient handed from a reader goroutine to the round
+// loop. grad is a buffer from src's free list and must be returned there.
+type submission struct {
+	src  *workerConn
+	step int
+	grad []float64
 }
 
 // Run accepts the expected number of workers, executes the configured
@@ -128,11 +186,21 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Workers indexed by id; acceptWorkers guarantees ids are unique in
+	// [0, n), so this is a permutation.
+	byID := make([]*workerConn, n)
+	for _, w := range workers {
+		byID[w.id] = w
+	}
 
-	// Fan-in: every connection gets a reader goroutine pushing into a
-	// shared inbox. runDone unblocks readers stuck on a full inbox during
-	// shutdown; closing the connections unblocks readers stuck in Decode.
-	inbox := make(chan Gradient, n)
+	var discarded atomic.Int64
+
+	// Fan-in: every connection gets a reader goroutine that validates the
+	// sender and dimension, copies the decoded gradient into one of the
+	// connection's own buffers and pushes it into a shared inbox. runDone
+	// unblocks readers stuck on a full inbox during shutdown; aborting the
+	// connections unblocks readers stuck in receive.
+	inbox := make(chan submission, n)
 	runDone := make(chan struct{})
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -140,31 +208,61 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		go func(w *workerConn) {
 			defer wg.Done()
 			for {
-				env, err := w.c.receive(time.Time{})
+				m, err := w.c.receive(time.Time{})
 				if err != nil {
 					return
 				}
-				if env.Gradient == nil {
+				if m.kind != msgGradient {
 					s.logf("worker %d sent non-gradient message", w.id)
 					return
 				}
+				g := &m.gradient
+				// A gradient claiming another worker's id is spoofed: the
+				// connection authenticates the sender.
+				if g.WorkerID != w.id || len(g.Grad) != s.cfg.Dim {
+					discarded.Add(1)
+					s.logf("discarding bad gradient from worker %d (claimed %d, dim %d)",
+						w.id, g.WorkerID, len(g.Grad))
+					continue
+				}
+				var buf []float64
 				select {
-				case inbox <- *env.Gradient:
+				case buf = <-w.free:
+				default:
+					// Buffer depth exhausted: the peer is sending faster
+					// than rounds complete (duplication fault or flood).
+					discarded.Add(1)
+					continue
+				}
+				copy(buf, g.Grad)
+				select {
+				case inbox <- submission{src: w, step: g.Step, grad: buf}:
 				case <-runDone:
 					return
 				}
 			}
 		}(w)
 	}
-	defer func() {
-		close(runDone)
-		for _, w := range workers {
-			if cerr := w.c.close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
-				s.logf("close worker %d: %v", w.id, cerr)
+	// shutdown tears down readers and connections. The success path calls
+	// it before building the result so the discard counter is final; the
+	// defer covers error returns.
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			close(runDone)
+			for _, w := range workers {
+				if cerr := w.c.abort(); cerr != nil {
+					s.logf("close worker %d: %v", w.id, cerr)
+				}
 			}
-		}
-		wg.Wait()
-	}()
+			wg.Wait()
+			// Readers are gone: decode scratch can be recycled safely.
+			for _, w := range workers {
+				_ = w.c.close()
+			}
+		})
+	}
+	defer shutdown()
 
 	w := make([]float64, s.cfg.Dim)
 	if s.cfg.InitParams != nil {
@@ -172,7 +270,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	}
 	velocity := make([]float64, s.cfg.Dim)
 	history := &metrics.History{}
-	missed := 0
+	missed, accepted := 0, 0
 	submissions := make([][]float64, n)
 	// agg is reused every round via the GAR's pooled AggregateInto path, and
 	// zeros stands in for every timed-out worker (Aggregate never mutates its
@@ -180,14 +278,25 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	// loop allocates no gradient-sized slices.
 	agg := make([]float64, s.cfg.Dim)
 	zeros := make([]float64, s.cfg.Dim)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
 
 	finish := func(finalW []float64) {
 		deadline := time.Now().Add(s.cfg.RoundTimeout)
 		for _, wk := range workers {
 			msg := Params{Step: s.cfg.Steps, Weights: finalW, Done: true}
-			if err := wk.c.send(envelope{Params: &msg}, deadline); err != nil {
+			if err := wk.c.sendParams(msg, deadline); err != nil {
 				s.logf("final broadcast to worker %d: %v", wk.id, err)
 			}
+		}
+	}
+	result := func() *ServerResult {
+		return &ServerResult{
+			Params:               w,
+			History:              history,
+			MissedGradients:      missed,
+			AcceptedGradients:    accepted,
+			DiscardedSubmissions: int(discarded.Load()),
 		}
 	}
 
@@ -202,7 +311,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		deadline := time.Now().Add(s.cfg.RoundTimeout)
 		for _, wk := range workers {
 			msg := Params{Step: step, Weights: w}
-			if err := wk.c.send(envelope{Params: &msg}, deadline); err != nil {
+			if err := wk.c.sendParams(msg, deadline); err != nil {
 				s.logf("broadcast to worker %d: %v (treating as mute)", wk.id, err)
 			}
 		}
@@ -211,17 +320,19 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			submissions[i] = nil
 		}
 		received := 0
-		timer := time.NewTimer(s.cfg.RoundTimeout)
+		timer.Reset(s.cfg.RoundTimeout)
 	collect:
 		for received < n {
 			select {
-			case g := <-inbox:
-				if g.Step != step || g.WorkerID < 0 || g.WorkerID >= n ||
-					len(g.Grad) != s.cfg.Dim || submissions[g.WorkerID] != nil {
-					s.logf("discarding stale/bad gradient (worker %d, step %d)", g.WorkerID, g.Step)
+			case sub := <-inbox:
+				id := sub.src.id
+				if sub.step != step || submissions[id] != nil {
+					discarded.Add(1)
+					s.logf("discarding stale/duplicate gradient (worker %d, step %d)", id, sub.step)
+					sub.src.free <- sub.grad
 					continue
 				}
-				submissions[g.WorkerID] = g.Grad
+				submissions[id] = sub.grad
 				received++
 			case <-timer.C:
 				break collect
@@ -230,6 +341,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			}
 		}
 		timer.Stop()
+		accepted += received
 
 		// Missing gradients become zero vectors (§2.1).
 		for i := range submissions {
@@ -243,6 +355,14 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			finish(w)
 			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)
 		}
+		// Aggregation is done with the buffers: hand them back for reuse.
+		for i := range submissions {
+			if submissions[i] != nil && &submissions[i][0] != &zeros[0] {
+				byID[i].free <- submissions[i]
+			}
+			submissions[i] = nil
+		}
+
 		for i := range velocity {
 			velocity[i] = s.cfg.Momentum*velocity[i] + agg[i]
 			w[i] -= s.cfg.LearningRate * velocity[i]
@@ -260,7 +380,11 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	}
 
 	finish(w)
-	return &ServerResult{Params: w, History: history, MissedGradients: missed}, nil
+	// Quiesce the readers before snapshotting the counters: a frame racing
+	// the end of the last round must still be counted, keeping the
+	// accepted/discarded/missed accounting exact.
+	shutdown()
+	return result(), nil
 }
 
 // acceptWorkers waits for n distinct Hello messages.
@@ -282,7 +406,7 @@ func (s *Server) acceptWorkers(ctx context.Context, n int) ([]*workerConn, error
 		raw, err := s.listener.Accept()
 		if err != nil {
 			for _, w := range workers {
-				if cerr := w.c.close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+				if cerr := w.c.close(); cerr != nil {
 					s.logf("close during abort: %v", cerr)
 				}
 			}
@@ -291,21 +415,25 @@ func (s *Server) acceptWorkers(ctx context.Context, n int) ([]*workerConn, error
 			}
 			return nil, fmt.Errorf("cluster: accept: %w", err)
 		}
-		c := newConn(raw)
-		env, err := c.receive(time.Now().Add(s.cfg.RoundTimeout))
-		if err != nil || env.Hello == nil {
+		c := newConnMax(raw, s.cfg.MaxFrameBytes)
+		m, err := c.receive(time.Now().Add(s.cfg.RoundTimeout))
+		if err != nil || m.kind != msgHello {
 			s.logf("rejecting connection without hello: %v", err)
 			_ = c.close()
 			continue
 		}
-		id := env.Hello.WorkerID
+		id := m.hello.WorkerID
 		if id < 0 || id >= n || seen[id] {
 			s.logf("rejecting hello with bad id %d", id)
 			_ = c.close()
 			continue
 		}
 		seen[id] = true
-		workers = append(workers, &workerConn{id: id, c: c})
+		free := make(chan []float64, submissionDepth)
+		for i := 0; i < submissionDepth; i++ {
+			free <- make([]float64, s.cfg.Dim)
+		}
+		workers = append(workers, &workerConn{id: id, c: c, free: free})
 		s.logf("worker %d joined (%d/%d)", id, len(workers), n)
 	}
 	return workers, nil

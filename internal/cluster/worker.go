@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"net"
 	"time"
 
 	"dpbyz/internal/attack"
@@ -19,6 +18,12 @@ import (
 type WorkerConfig struct {
 	// Addr is the server address to dial.
 	Addr string
+	// Transport is the communication substrate (nil means TCP). It must
+	// match the server's transport.
+	Transport Transport
+	// MaxFrameBytes caps the payload length the server may declare (0
+	// means DefaultMaxFrameBytes).
+	MaxFrameBytes int
 	// WorkerID is this worker's unique id in [0, n).
 	WorkerID int
 	// Model is the learning task (must match the server's Dim).
@@ -86,6 +91,9 @@ func (c *WorkerConfig) validate() error {
 	if c.Momentum < 0 || c.Momentum >= 1 {
 		return fmt.Errorf("cluster: momentum %v outside [0, 1)", c.Momentum)
 	}
+	if err := validateMaxFrame(c.MaxFrameBytes, c.Model.Dim()); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -94,7 +102,8 @@ type WorkerResult struct {
 	// Rounds is the number of gradients the worker submitted.
 	Rounds int
 	// FinalParams is the last parameter vector received from the server
-	// (the trained model when the run completed).
+	// (the trained model when the run completed). It is the worker's own
+	// copy, never an alias of connection internals.
 	FinalParams []float64
 }
 
@@ -109,27 +118,33 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
 	}
-	dialer := net.Dialer{Timeout: dialTimeout}
-	raw, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
+	transport := cfg.Transport
+	if transport == nil {
+		transport = DefaultTransport
 	}
-	c := newConn(raw)
+	dialCtx, dialCancel := context.WithTimeout(ctx, dialTimeout)
+	raw, err := transport.Dial(dialCtx, cfg.Addr)
+	dialCancel()
+	if err != nil {
+		return nil, err
+	}
+	c := newConnMax(raw, cfg.MaxFrameBytes)
 	defer c.close()
 
-	// Unblock the blocking receive on cancellation by closing the conn.
+	// Unblock the blocking receive on cancellation by aborting the raw
+	// conn; scratch recycling stays with the deferred close above, which
+	// runs only after the receive loop has exited.
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-ctx.Done():
-			_ = c.close()
+			_ = c.abort()
 		case <-stop:
 		}
 	}()
 
-	hello := Hello{WorkerID: cfg.WorkerID}
-	if err := c.send(envelope{Hello: &hello}, time.Now().Add(dialTimeout)); err != nil {
+	if err := c.sendHello(Hello{WorkerID: cfg.WorkerID}, time.Now().Add(dialTimeout)); err != nil {
 		return nil, fmt.Errorf("cluster: hello: %w", err)
 	}
 
@@ -149,18 +164,25 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 
 	res := &WorkerResult{}
 	for {
-		env, err := c.receive(time.Time{})
+		m, err := c.receive(time.Time{})
 		if err != nil {
 			if ctx.Err() != nil {
 				return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
 			}
 			return res, fmt.Errorf("cluster: worker %d receive: %w", cfg.WorkerID, err)
 		}
-		if env.Params == nil {
+		if m.kind != msgParams {
 			return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ErrBadMessage)
 		}
-		params := *env.Params
-		res.FinalParams = params.Weights
+		params := &m.params
+		// params.Weights lives in the conn's reusable decode buffer, which
+		// the next receive overwrites and close recycles to other conns:
+		// the result must own its own copy.
+		if cap(res.FinalParams) < len(params.Weights) {
+			res.FinalParams = make([]float64, len(params.Weights))
+		}
+		res.FinalParams = res.FinalParams[:len(params.Weights)]
+		copy(res.FinalParams, params.Weights)
 		if params.Done {
 			return res, nil
 		}
@@ -217,7 +239,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		}
 
 		msg := Gradient{WorkerID: cfg.WorkerID, Step: params.Step, Grad: submission}
-		if err := c.send(envelope{Gradient: &msg}, time.Now().Add(dialTimeout)); err != nil {
+		if err := c.sendGradient(msg, time.Now().Add(dialTimeout)); err != nil {
 			return res, fmt.Errorf("cluster: worker %d send: %w", cfg.WorkerID, err)
 		}
 		res.Rounds++
