@@ -29,10 +29,12 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover")
-		smoke = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
-		steps = flag.Int("steps", 0, "override step count (0 = experiment default)")
-		seeds = flag.Int("seeds", 0, "override seed count (0 = experiment default)")
+		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover")
+		smoke    = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
+		steps    = flag.Int("steps", 0, "override step count (0 = experiment default)")
+		seeds    = flag.Int("seeds", 0, "override seed count (0 = experiment default)")
+		parallel = flag.Int("parallel", 0, "max concurrent (condition, seed) cells (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+		progress = flag.Bool("progress", true, "report per-cell grid progress on stderr")
 	)
 	flag.Parse()
 
@@ -41,13 +43,22 @@ func run() error {
 
 	scale := experiments.Scale{Steps: *steps, Seeds: *seeds}
 	if *smoke {
-		scale = experiments.Scale{Steps: 100, Seeds: 2, DatasetSize: 2000, Features: 20}
+		scale = experiments.ScaleSmall()
 		if *steps > 0 {
 			scale.Steps = *steps
 		}
 		if *seeds > 0 {
 			scale.Seeds = *seeds
 		}
+	}
+	sched := func(name string) experiments.Sched {
+		s := experiments.Sched{Workers: *parallel}
+		if *progress {
+			s.Progress = func(done, total int, label string) {
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d cells (%s)\n", name, done, total, label)
+			}
+		}
+		return s
 	}
 
 	wanted := strings.Split(*exp, ",")
@@ -75,6 +86,7 @@ func run() error {
 		}
 		ran++
 		fmt.Fprintf(os.Stderr, "running %s...\n", fig.name)
+		fig.spec.Sched = sched(fig.name)
 		res, err := experiments.RunFigure(ctx, fig.spec)
 		if err != nil {
 			return err
@@ -160,7 +172,8 @@ func run() error {
 	if want("epssweep") {
 		ran++
 		fmt.Fprintln(os.Stderr, "running epssweep...")
-		points, err := experiments.RunEpsilonSweep(ctx, experiments.EpsilonSweepSpec{Scale: scale})
+		points, err := experiments.RunEpsilonSweep(ctx,
+			experiments.EpsilonSweepSpec{Scale: scale, Sched: sched("epssweep")})
 		if err != nil {
 			return err
 		}

@@ -59,6 +59,30 @@
 // fan-out only the dispatch itself allocates. Parallel results are
 // bit-identical to the sequential path.
 //
+// The simulation hot path that feeds the aggregators is batched and fused
+// end to end. Every model implements model.BatchGradienter — one blocked
+// sweep per batch that folds per-sample clipping into the gradient
+// accumulation (for affine models the per-sample gradient g·[x, 1] is
+// clipped through the scalar |g|·√(‖x‖²+1), priced with feature norms
+// cached at dataset construction, so the d-sized per-sample gradient is
+// never materialized) — and the worker pipeline in internal/simulate fuses
+// noise injection, momentum and the submission copy into single passes
+// over worker-owned buffers. Gaussian noise comes from a 256-strip
+// ziggurat sampler (internal/randx; ~5x faster per variate than the
+// Box-Muller transform it replaced — note Gaussian draws are therefore
+// not bit-compatible with pre-ziggurat revisions, see the randx package
+// comment), and batch sampling reuses a stream-owned membership table.
+// The steady-state training step performs zero allocations (enforced by
+// AllocsPerRun gates in internal/simulate, internal/randx and
+// internal/data); BENCH_simulate.json records the measured before/after.
+//
+// At the experiment level, RunFigure and RunEpsilonSweep fan their
+// (condition, seed) cells across a bounded worker pool with per-seed
+// datasets built once and shared read-only; results are bit-identical at
+// every parallelism level (see the internal/experiments package comment
+// for the determinism contract, and cmd/dpbyz-experiments -parallel /
+// -progress for the CLI knobs).
+//
 // # Cluster deployments: in-process vs. real TCP
 //
 // The networked realization (internal/cluster, cmd/dpbyz-server,

@@ -215,7 +215,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		} else {
 			// Theory pipeline: per-sample clipping keeps the 2*Gmax/b
 			// sensitivity assumption exact.
-			model.ClippedGradient(cfg.Model, grad, clipBuf, params.Weights, batch, cfg.ClipNorm)
+			model.ClippedGradientWithNorms(cfg.Model, grad, clipBuf,
+				params.Weights, batch, batcher.BatchSqNorms(), cfg.ClipNorm)
 			if cfg.Mechanism != nil {
 				cfg.Mechanism.Perturb(grad, noise)
 				if cfg.Accountant != nil {

@@ -1,0 +1,28 @@
+//go:build !race
+
+package data
+
+import (
+	"testing"
+
+	"dpbyz/internal/randx"
+)
+
+// The per-step batch draw — stream sampling plus batch/norm gather — must
+// allocate nothing in steady state.
+func TestBatcherNextAllocationFree(t *testing.T) {
+	ds, err := SyntheticPhishing(SyntheticPhishingConfig{N: 500, Features: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(ds, 50, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Next() // size the stream's sampling table outside the measurement
+	if allocs := testing.AllocsPerRun(100, func() {
+		b.Next()
+	}); allocs != 0 {
+		t.Errorf("Next allocs/op = %v, want 0", allocs)
+	}
+}

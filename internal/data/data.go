@@ -24,6 +24,10 @@ type Point struct {
 type Dataset struct {
 	points []Point
 	dim    int
+	// xsq caches ‖X‖² per point, computed once at construction. The batched
+	// gradient kernels use it to price per-sample clipping without an extra
+	// pass over the features every step.
+	xsq []float64
 }
 
 // ErrEmptyDataset is returned by operations that need at least one point.
@@ -35,13 +39,23 @@ func New(points []Point) (*Dataset, error) {
 		return nil, ErrEmptyDataset
 	}
 	d := len(points[0].X)
+	xsq := make([]float64, len(points))
 	for i, p := range points {
 		if len(p.X) != d {
 			return nil, fmt.Errorf("data: point %d has dim %d, want %d", i, len(p.X), d)
 		}
+		var s float64
+		for _, x := range p.X {
+			s += x * x
+		}
+		xsq[i] = s
 	}
-	return &Dataset{points: points, dim: d}, nil
+	return &Dataset{points: points, dim: d, xsq: xsq}, nil
 }
+
+// PointSqNorm returns ‖X‖² of the i-th point, from the construction-time
+// cache.
+func (ds *Dataset) PointSqNorm(i int) float64 { return ds.xsq[i] }
 
 // Len returns the number of points.
 func (ds *Dataset) Len() int { return len(ds.points) }
@@ -62,13 +76,15 @@ func (ds *Dataset) Subset(idx []int) (*Dataset, error) {
 		return nil, ErrEmptyDataset
 	}
 	pts := make([]Point, len(idx))
+	xsq := make([]float64, len(idx))
 	for i, j := range idx {
 		if j < 0 || j >= len(ds.points) {
 			return nil, fmt.Errorf("data: index %d out of range [0, %d)", j, len(ds.points))
 		}
 		pts[i] = ds.points[j]
+		xsq[i] = ds.xsq[j]
 	}
-	return &Dataset{points: pts, dim: ds.dim}, nil
+	return &Dataset{points: pts, dim: ds.dim, xsq: xsq}, nil
 }
 
 // Split partitions the dataset into a training set with trainN points and a
@@ -95,9 +111,11 @@ func (ds *Dataset) Split(trainN int, rng *randx.Stream) (train, test *Dataset, e
 // Batcher draws uniform batches (without replacement within a batch) from a
 // dataset, one independent sampler per worker.
 type Batcher struct {
-	ds  *Dataset
-	rng *randx.Stream
-	idx []int
+	ds    *Dataset
+	rng   *randx.Stream
+	idx   []int
+	batch []Point
+	norms []float64
 }
 
 // NewBatcher returns a batcher of the given batch size. The batch size is
@@ -112,19 +130,32 @@ func NewBatcher(ds *Dataset, batchSize int, rng *randx.Stream) (*Batcher, error)
 	if batchSize > ds.Len() {
 		batchSize = ds.Len()
 	}
-	return &Batcher{ds: ds, rng: rng, idx: make([]int, batchSize)}, nil
+	return &Batcher{
+		ds:    ds,
+		rng:   rng,
+		idx:   make([]int, batchSize),
+		batch: make([]Point, batchSize),
+		norms: make([]float64, batchSize),
+	}, nil
 }
 
-// Next returns the next random batch. The returned points are views into
-// the dataset and valid until the dataset is released.
+// Next returns the next random batch. The points are views into the dataset
+// and the slice itself is owned by the batcher and reused: it is valid only
+// until the next Next call, so the steady-state sampling loop allocates
+// nothing. Callers that need to retain a batch across draws must copy it.
 func (b *Batcher) Next() []Point {
 	b.rng.Sample(b.idx, b.ds.Len())
-	batch := make([]Point, len(b.idx))
 	for i, j := range b.idx {
-		batch[i] = b.ds.points[j]
+		b.batch[i] = b.ds.points[j]
+		b.norms[i] = b.ds.xsq[j]
 	}
-	return batch
+	return b.batch
 }
+
+// BatchSqNorms returns ‖X‖² for each point of the most recent Next batch
+// (from the dataset's construction-time cache), aligned with that batch and
+// owned by the batcher under the same reuse rule.
+func (b *Batcher) BatchSqNorms() []float64 { return b.norms }
 
 // BatchSize returns the (possibly capped) batch size.
 func (b *Batcher) BatchSize() int { return len(b.idx) }

@@ -88,6 +88,11 @@ type Mechanism interface {
 	PerCoordinateVariance() float64
 	// Perturb adds noise to v in place using rng and returns v.
 	Perturb(v []float64, rng *randx.Stream) []float64
+	// PerturbInto writes v plus fresh noise into dst (dst may alias v) and
+	// returns dst, fusing the noisy release with a copy so callers that keep
+	// the pre-noise gradient separate from the submission pay one pass.
+	// It draws exactly the variates Perturb would.
+	PerturbInto(dst, v []float64, rng *randx.Stream) []float64
 }
 
 // Gaussian is the Gaussian mechanism of Eq. 6.
@@ -130,12 +135,19 @@ func (g *Gaussian) Budget() Budget { return g.budget }
 // PerCoordinateVariance implements Mechanism: σ².
 func (g *Gaussian) PerCoordinateVariance() float64 { return g.sigma * g.sigma }
 
-// Perturb implements Mechanism.
+// Perturb implements Mechanism. The variates come from the stream's
+// ziggurat sampler (see the randx package comment for the stream-
+// compatibility note).
 func (g *Gaussian) Perturb(v []float64, rng *randx.Stream) []float64 {
+	return g.PerturbInto(v, v, rng)
+}
+
+// PerturbInto implements Mechanism.
+func (g *Gaussian) PerturbInto(dst, v []float64, rng *randx.Stream) []float64 {
 	for i := range v {
-		v[i] += g.sigma * rng.Normal()
+		dst[i] = v[i] + g.sigma*rng.Normal()
 	}
-	return v
+	return dst
 }
 
 // Laplace is the Laplace mechanism, calibrated on the L1 sensitivity. As the
@@ -184,8 +196,13 @@ func (l *Laplace) PerCoordinateVariance() float64 { return 2 * l.scale * l.scale
 
 // Perturb implements Mechanism.
 func (l *Laplace) Perturb(v []float64, rng *randx.Stream) []float64 {
+	return l.PerturbInto(v, v, rng)
+}
+
+// PerturbInto implements Mechanism.
+func (l *Laplace) PerturbInto(dst, v []float64, rng *randx.Stream) []float64 {
 	for i := range v {
-		v[i] += rng.Laplace(l.scale)
+		dst[i] = v[i] + rng.Laplace(l.scale)
 	}
-	return v
+	return dst
 }

@@ -7,11 +7,32 @@
 // Each runner accepts a Scale so the same experiment can run at paper scale
 // from cmd/dpbyz-experiments or at smoke-test scale from the test suite and
 // benchmarks.
+//
+// # Scheduler determinism contract
+//
+// RunFigure and RunEpsilonSweep fan their (condition, seed) cells across a
+// bounded worker pool (Sched.Workers goroutines, default GOMAXPROCS). The
+// grid is embarrassingly parallel: every cell derives all of its randomness
+// from its own (seed-keyed) randx streams, the per-seed synthetic datasets
+// are built once up front and shared read-only, and per-cell results are
+// written into pre-indexed slots and aggregated in the fixed serial order.
+// Consequently the returned results are BIT-IDENTICAL for every Workers
+// setting, including Workers = 1 (the serial order); parallelism trades
+// wall-clock for cores and nothing else. Only the Progress callback
+// observes scheduling (cells complete in a nondeterministic order).
+//
+// Note that individual cell trajectories are a pure function of the seed
+// within one build of this module, but are not bit-stable across the randx
+// Gaussian sampler change (see the randx package comment).
 package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dpbyz/internal/attack"
 	"dpbyz/internal/data"
@@ -50,6 +71,12 @@ type Scale struct {
 	Features int
 }
 
+// ScaleSmall returns the reduced scale used by -smoke runs, the benchmark
+// suite and CI: the full condition grid in a few seconds instead of hours.
+func ScaleSmall() Scale {
+	return Scale{Steps: 100, Seeds: 2, DatasetSize: 2000, Features: 20}
+}
+
 func (s Scale) steps() int {
 	if s.Steps > 0 {
 		return s.Steps
@@ -76,6 +103,20 @@ func (s Scale) features() int {
 		return s.Features
 	}
 	return data.PhishingFeatures
+}
+
+// Sched configures the parallel deterministic cell scheduler (see the
+// package comment for the determinism contract).
+type Sched struct {
+	// Workers caps how many (condition, seed) cells run concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial order. The results
+	// are bit-identical at every setting.
+	Workers int
+	// Progress, when non-nil, is invoked after each cell completes, with
+	// the number of completed cells, the grid total and the finished cell's
+	// label. Invocations are serialized but arrive in completion order,
+	// which depends on scheduling.
+	Progress func(done, total int, label string)
 }
 
 // Condition is one cell of the Figs 2–4 grid.
@@ -124,6 +165,9 @@ type FigureSpec struct {
 	MLPHidden int
 	// Scale shrinks the run for tests.
 	Scale Scale
+	// Sched configures the cell scheduler; the zero value fans across
+	// GOMAXPROCS workers with no progress reporting.
+	Sched Sched
 }
 
 // Figure2 returns the paper's Fig. 2 spec (b = 50).
@@ -179,119 +223,150 @@ func (r *FigureResult) Cell(label string) *CellResult {
 	return nil
 }
 
-// RunFigure executes every condition of a figure across the configured
-// seeds and aggregates the curves.
-func RunFigure(ctx context.Context, spec FigureSpec) (*FigureResult, error) {
-	scale := spec.Scale
-	trainN := scale.datasetSize() * data.PhishingTrainSize / data.PhishingSize
-	if trainN < 2 || trainN >= scale.datasetSize() {
-		return nil, fmt.Errorf("experiments: dataset size %d too small", scale.datasetSize())
-	}
-
-	out := &FigureResult{Spec: spec}
-	for _, cond := range Grid() {
-		cell, err := runCell(ctx, spec, cond, trainN)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", spec.ID, cond.Label, err)
-		}
-		out.Cells = append(out.Cells, *cell)
-	}
-	return out, nil
+// seedInputs is the immutable per-seed state shared by every condition of a
+// grid: the synthetic dataset (split once) and, for MLP figures, the
+// deterministic initialization. Building these once per seed instead of
+// once per (condition, seed) saves |Grid()|−1 regenerations per seed, and
+// sharing them read-only across concurrent cells is safe because datasets
+// are immutable by convention and simulate.Run copies InitParams.
+type seedInputs struct {
+	train   *data.Dataset
+	test    *data.Dataset
+	mlpInit []float64
 }
 
-func runCell(ctx context.Context, spec FigureSpec, cond Condition, trainN int) (*CellResult, error) {
+// buildSeedInputs generates the per-seed datasets (seeds 1..Scale.seeds())
+// for a figure-class spec.
+func buildSeedInputs(spec FigureSpec, trainN int) ([]seedInputs, error) {
 	scale := spec.Scale
-	var histories []*metrics.History
-	var minLossSum, stepsToMinSum float64
-
-	for seed := 1; seed <= scale.seeds(); seed++ {
+	out := make([]seedInputs, scale.seeds())
+	for i := range out {
+		seed := uint64(i + 1)
 		ds, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
-			N: scale.datasetSize(), Features: scale.features(), Seed: uint64(seed),
+			N: scale.datasetSize(), Features: scale.features(), Seed: seed,
 		})
 		if err != nil {
 			return nil, err
 		}
 		// Deterministic split keyed by the seed, mirroring the paper's
 		// 8400/2655 proportions.
-		rng := splitStream(uint64(seed))
-		train, test, err := ds.Split(trainN, rng)
+		train, test, err := ds.Split(trainN, splitStream(seed))
 		if err != nil {
 			return nil, err
 		}
-		var m model.Model
-		var initParams []float64
+		out[i] = seedInputs{train: train, test: test}
 		if spec.MLPHidden > 0 {
-			mlp, merr := model.NewMLP(scale.features(), spec.MLPHidden)
-			if merr != nil {
-				return nil, merr
+			mlp, err := model.NewMLP(scale.features(), spec.MLPHidden)
+			if err != nil {
+				return nil, err
 			}
-			m = mlp
-			initParams = mlp.InitParams(randx.New(uint64(seed) ^ 0x4d4c50).Normal)
-		} else {
-			lm, merr := model.NewLogisticMSE(scale.features())
-			if merr != nil {
-				return nil, merr
-			}
-			m = lm
+			out[i].mlpInit = mlp.InitParams(randx.New(seed ^ 0x4d4c50).Normal)
 		}
+	}
+	return out, nil
+}
 
-		cfg := simulate.Config{
-			Model:     m,
-			Train:     train,
-			Test:      test,
-			Steps:     scale.steps(),
-			BatchSize: spec.BatchSize,
-			// The paper's stack applies its 0.99 momentum at the workers
-			// (the distributed-momentum technique of its ref [16]); see
-			// simulate.Config.WorkerMomentum.
-			LearningRate:   PaperLearningRate,
-			WorkerMomentum: PaperMomentum,
-			ClipNorm:       PaperClipNorm,
-			Seed:           uint64(seed),
-			InitParams:     initParams,
-			AccuracyEvery:  PaperAccuracyEvery,
-			Parallel:       true,
-		}
-		if cond.AttackName == "" {
-			// Unattacked baseline: all 11 workers honest, plain averaging
-			// (the paper's "when averaging is used, the f workers ... behave
-			// as honest workers").
-			g, err := gar.NewAverage(PaperWorkers)
-			if err != nil {
-				return nil, err
-			}
-			cfg.GAR = g
-		} else {
-			g, err := gar.NewMDA(PaperWorkers, PaperByzantine)
-			if err != nil {
-				return nil, err
-			}
-			cfg.GAR = g
-			atk, err := attack.New(cond.AttackName)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Attack = atk
-		}
-		if cond.DP {
-			mech, err := dp.NewGaussian(PaperClipNorm, spec.BatchSize,
-				dp.Budget{Epsilon: spec.Epsilon, Delta: PaperDelta})
-			if err != nil {
-				return nil, err
-			}
-			cfg.Mechanism = mech
-		}
+// cellRun is one (condition, seed) training run's raw outcome.
+type cellRun struct {
+	history *metrics.History
+	minLoss float64
+	minStep int
+}
 
-		res, err := simulate.Run(ctx, cfg)
+// resolveWorkers returns the effective scheduler width of a Sched.
+func resolveWorkers(s Sched) int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSeed executes one (condition, seed) cell and returns its outcome.
+// innerParallel enables simulate's per-worker goroutines — useful when the
+// cell scheduler itself is serial, pure oversubscription when cells already
+// saturate the cores (simulate's results are identical either way).
+func runSeed(ctx context.Context, spec FigureSpec, cond Condition, in seedInputs, seed int, innerParallel bool) (cellRun, error) {
+	scale := spec.Scale
+	var m model.Model
+	if spec.MLPHidden > 0 {
+		mlp, err := model.NewMLP(scale.features(), spec.MLPHidden)
 		if err != nil {
-			return nil, err
+			return cellRun{}, err
 		}
-		histories = append(histories, res.History)
-		minLoss, minStep := res.History.MinLoss()
-		minLossSum += minLoss
-		stepsToMinSum += float64(minStep)
+		m = mlp
+	} else {
+		lm, err := model.NewLogisticMSE(scale.features())
+		if err != nil {
+			return cellRun{}, err
+		}
+		m = lm
 	}
 
+	cfg := simulate.Config{
+		Model:     m,
+		Train:     in.train,
+		Test:      in.test,
+		Steps:     scale.steps(),
+		BatchSize: spec.BatchSize,
+		// The paper's stack applies its 0.99 momentum at the workers
+		// (the distributed-momentum technique of its ref [16]); see
+		// simulate.Config.WorkerMomentum.
+		LearningRate:   PaperLearningRate,
+		WorkerMomentum: PaperMomentum,
+		ClipNorm:       PaperClipNorm,
+		Seed:           uint64(seed),
+		InitParams:     in.mlpInit,
+		AccuracyEvery:  PaperAccuracyEvery,
+		Parallel:       innerParallel,
+	}
+	if cond.AttackName == "" {
+		// Unattacked baseline: all 11 workers honest, plain averaging
+		// (the paper's "when averaging is used, the f workers ... behave
+		// as honest workers").
+		g, err := gar.NewAverage(PaperWorkers)
+		if err != nil {
+			return cellRun{}, err
+		}
+		cfg.GAR = g
+	} else {
+		g, err := gar.NewMDA(PaperWorkers, PaperByzantine)
+		if err != nil {
+			return cellRun{}, err
+		}
+		cfg.GAR = g
+		atk, err := attack.New(cond.AttackName)
+		if err != nil {
+			return cellRun{}, err
+		}
+		cfg.Attack = atk
+	}
+	if cond.DP {
+		mech, err := dp.NewGaussian(PaperClipNorm, spec.BatchSize,
+			dp.Budget{Epsilon: spec.Epsilon, Delta: PaperDelta})
+		if err != nil {
+			return cellRun{}, err
+		}
+		cfg.Mechanism = mech
+	}
+
+	res, err := simulate.Run(ctx, cfg)
+	if err != nil {
+		return cellRun{}, err
+	}
+	minLoss, minStep := res.History.MinLoss()
+	return cellRun{history: res.History, minLoss: minLoss, minStep: minStep}, nil
+}
+
+// aggregateCell folds one condition's per-seed runs (in seed order) into a
+// CellResult, exactly as the serial runner always has.
+func aggregateCell(cond Condition, runs []cellRun) (*CellResult, error) {
+	histories := make([]*metrics.History, len(runs))
+	var minLossSum, stepsToMinSum float64
+	for i, r := range runs {
+		histories[i] = r.history
+		minLossSum += r.minLoss
+		stepsToMinSum += float64(r.minStep)
+	}
 	loss, err := metrics.AggregateLoss(histories)
 	if err != nil {
 		return nil, err
@@ -301,7 +376,7 @@ func runCell(ctx context.Context, spec FigureSpec, cond Condition, trainN int) (
 		return nil, err
 	}
 	accMean, accStd := acc.Final()
-	seeds := float64(scale.seeds())
+	seeds := float64(len(runs))
 	return &CellResult{
 		Condition:      cond,
 		Loss:           loss,
@@ -311,6 +386,153 @@ func runCell(ctx context.Context, spec FigureSpec, cond Condition, trainN int) (
 		FinalAccMean:   accMean,
 		FinalAccStd:    accStd,
 	}, nil
+}
+
+// runGrid drains total tasks through a bounded worker pool. The first task
+// failure cancels the remaining tasks; every started goroutine is joined
+// before returning. The returned error is the first non-cancellation task
+// error in task order (falling back to the cancellation cause), so it too
+// is independent of scheduling whenever a single task is at fault.
+func runGrid(ctx context.Context, sched Sched, total int, label func(task int) string,
+	run func(ctx context.Context, task int) error) error {
+	if total <= 0 {
+		return nil
+	}
+	workers := sched.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, total)
+	completed := make([]bool, total)
+	var (
+		next int64 = -1
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(atomic.AddInt64(&next, 1))
+				if t >= total {
+					return
+				}
+				if gctx.Err() != nil {
+					return
+				}
+				if err := run(gctx, t); err != nil {
+					errs[t] = err
+					cancel()
+					continue
+				}
+				completed[t] = true
+				mu.Lock()
+				done++
+				if sched.Progress != nil {
+					sched.Progress(done, total, label(t))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, ok := range completed {
+		if !ok {
+			// No task failed, yet the grid is incomplete: the parent
+			// context was cancelled between task pulls.
+			return fmt.Errorf("experiments: grid interrupted: %w", context.Cause(ctx))
+		}
+	}
+	return nil
+}
+
+// RunFigure executes every condition of a figure across the configured
+// seeds and aggregates the curves. The (condition, seed) cells run on the
+// scheduler configured by spec.Sched; see the package comment for the
+// determinism contract.
+func RunFigure(ctx context.Context, spec FigureSpec) (*FigureResult, error) {
+	scale := spec.Scale
+	trainN := scale.datasetSize() * data.PhishingTrainSize / data.PhishingSize
+	if trainN < 2 || trainN >= scale.datasetSize() {
+		return nil, fmt.Errorf("experiments: dataset size %d too small", scale.datasetSize())
+	}
+	inputs, err := buildSeedInputs(spec, trainN)
+	if err != nil {
+		return nil, err
+	}
+
+	conds := Grid()
+	seeds := scale.seeds()
+	runs := make([]cellRun, len(conds)*seeds)
+	inner := resolveWorkers(spec.Sched) == 1
+	err = runGrid(ctx, spec.Sched, len(runs),
+		func(t int) string {
+			return fmt.Sprintf("%s seed %d", conds[t/seeds].Label, t%seeds+1)
+		},
+		func(ctx context.Context, t int) error {
+			ci, si := t/seeds, t%seeds
+			out, err := runSeed(ctx, spec, conds[ci], inputs[si], si+1, inner)
+			if err != nil {
+				return fmt.Errorf("experiments: %s/%s: %w", spec.ID, conds[ci].Label, err)
+			}
+			runs[t] = out
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FigureResult{Spec: spec}
+	for ci, cond := range conds {
+		cell, err := aggregateCell(cond, runs[ci*seeds:(ci+1)*seeds])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", spec.ID, cond.Label, err)
+		}
+		out.Cells = append(out.Cells, *cell)
+	}
+	return out, nil
+}
+
+// runCell executes one condition serially across all seeds — the
+// single-condition helper behind RunCrossover (RunFigure schedules whole
+// grids instead).
+func runCell(ctx context.Context, spec FigureSpec, cond Condition, trainN int) (*CellResult, error) {
+	inputs, err := buildSeedInputs(spec, trainN)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]cellRun, len(inputs))
+	for i := range inputs {
+		runs[i], err = runSeed(ctx, spec, cond, inputs[i], i+1, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregateCell(cond, runs)
 }
 
 // EpsilonSweepSpec is the full version's hyperparameter sweep over the
@@ -324,6 +546,8 @@ type EpsilonSweepSpec struct {
 	// AttackName defaults to "alie".
 	AttackName string
 	Scale      Scale
+	// Sched configures the (epsilon, seed) cell scheduler.
+	Sched Sched
 }
 
 // EpsilonPoint is one sweep measurement.
@@ -336,7 +560,9 @@ type EpsilonPoint struct {
 
 // RunEpsilonSweep measures how gracefully accuracy degrades as ε shrinks
 // (the paper's "slightly larger privacy noise gracefully translates into
-// slightly lower performances" observation).
+// slightly lower performances" observation). The (epsilon, seed) cells run
+// on the same deterministic scheduler as RunFigure, with the per-seed
+// datasets built once and shared across every ε.
 func RunEpsilonSweep(ctx context.Context, spec EpsilonSweepSpec) ([]EpsilonPoint, error) {
 	if len(spec.Epsilons) == 0 {
 		spec.Epsilons = []float64{0.1, 0.2, 0.5, 0.9}
@@ -348,11 +574,38 @@ func RunEpsilonSweep(ctx context.Context, spec EpsilonSweepSpec) ([]EpsilonPoint
 		spec.AttackName = "alie"
 	}
 	trainN := spec.Scale.datasetSize() * data.PhishingTrainSize / data.PhishingSize
-	var out []EpsilonPoint
-	for _, eps := range spec.Epsilons {
-		fig := FigureSpec{ID: "epssweep", BatchSize: spec.BatchSize, Epsilon: eps, Scale: spec.Scale}
-		cond := Condition{Label: spec.AttackName + "+dp", AttackName: spec.AttackName, DP: true}
-		cell, err := runCell(ctx, fig, cond, trainN)
+	base := FigureSpec{ID: "epssweep", BatchSize: spec.BatchSize, Scale: spec.Scale}
+	inputs, err := buildSeedInputs(base, trainN)
+	if err != nil {
+		return nil, err
+	}
+	cond := Condition{Label: spec.AttackName + "+dp", AttackName: spec.AttackName, DP: true}
+
+	seeds := spec.Scale.seeds()
+	runs := make([]cellRun, len(spec.Epsilons)*seeds)
+	inner := resolveWorkers(spec.Sched) == 1
+	err = runGrid(ctx, spec.Sched, len(runs),
+		func(t int) string {
+			return fmt.Sprintf("eps=%v seed %d", spec.Epsilons[t/seeds], t%seeds+1)
+		},
+		func(ctx context.Context, t int) error {
+			ei, si := t/seeds, t%seeds
+			fig := base
+			fig.Epsilon = spec.Epsilons[ei]
+			out, err := runSeed(ctx, fig, cond, inputs[si], si+1, inner)
+			if err != nil {
+				return fmt.Errorf("experiments: epsilon %v: %w", spec.Epsilons[ei], err)
+			}
+			runs[t] = out
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]EpsilonPoint, 0, len(spec.Epsilons))
+	for ei, eps := range spec.Epsilons {
+		cell, err := aggregateCell(cond, runs[ei*seeds:(ei+1)*seeds])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: epsilon %v: %w", eps, err)
 		}

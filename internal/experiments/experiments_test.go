@@ -260,8 +260,8 @@ func TestRunFigureMLP(t *testing.T) {
 
 func TestRunCrossover(t *testing.T) {
 	res, err := RunCrossover(context.Background(), CrossoverSpec{
-		BatchSizes: []int{10, 400},
-		Scale:      Scale{Steps: 150, Seeds: 1, DatasetSize: 1500, Features: 12},
+		BatchSizes: []int{20, 400},
+		Scale:      Scale{Steps: 200, Seeds: 1, DatasetSize: 1500, Features: 12},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -269,17 +269,17 @@ func TestRunCrossover(t *testing.T) {
 	if len(res.Points) != 2 {
 		t.Fatalf("points = %d", len(res.Points))
 	}
-	// The combined condition must work at b=400 but not at b=10 on this
+	// The combined condition must work at b=400 but not at b=20 on this
 	// small task — the paper's antagonism gap in miniature.
 	if res.Points[0].CombinedOK {
-		t.Error("combined condition unexpectedly works at b=10")
+		t.Error("combined condition unexpectedly works at b=20")
 	}
 	if res.MinBatchCombined != 400 {
 		t.Errorf("combined crossover = %d, want 400", res.MinBatchCombined)
 	}
 	// Either defence alone already works at the small batch.
 	if !res.Points[0].DPOnlyOK || !res.Points[0].AttackOnlyOK {
-		t.Error("single defences should work at b=10")
+		t.Error("single defences should work at b=20")
 	}
 	var sb strings.Builder
 	if err := WriteCrossoverReport(&sb, res); err != nil {

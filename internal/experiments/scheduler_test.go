@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// schedScale is small enough that a whole grid runs in well under a second.
+func schedScale() Scale {
+	return Scale{Steps: 30, Seeds: 2, DatasetSize: 600, Features: 8}
+}
+
+// The scheduler's determinism contract: the FigureResult must be
+// bit-identical at every Workers setting, including the serial order.
+func TestParallelSchedulerBitIdenticalToSerial(t *testing.T) {
+	results := make([]*FigureResult, 0, 3)
+	for _, workers := range []int{1, 3, 8} {
+		spec := Figure2(schedScale())
+		spec.Sched = Sched{Workers: workers}
+		res, err := RunFigure(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0].Cells, results[i].Cells) {
+			t.Fatalf("cells differ between Workers=1 and Workers=%d", []int{1, 3, 8}[i])
+		}
+	}
+}
+
+// Same contract for the ε sweep scheduler.
+func TestEpsilonSweepSchedulerBitIdentical(t *testing.T) {
+	run := func(workers int) []EpsilonPoint {
+		points, err := RunEpsilonSweep(context.Background(), EpsilonSweepSpec{
+			Epsilons: []float64{0.3, 0.9},
+			Scale:    schedScale(),
+			Sched:    Sched{Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return points
+	}
+	if serial, par := run(1), run(4); !reflect.DeepEqual(serial, par) {
+		t.Fatal("epsilon sweep differs between serial and parallel scheduling")
+	}
+}
+
+// Progress must fire once per cell and count every cell exactly once.
+func TestSchedulerProgressCounts(t *testing.T) {
+	spec := Figure2(schedScale())
+	var calls atomic.Int64
+	var sawTotal atomic.Int64
+	spec.Sched = Sched{
+		Workers: 2,
+		Progress: func(done, total int, label string) {
+			calls.Add(1)
+			sawTotal.Store(int64(total))
+			if label == "" {
+				t.Error("empty progress label")
+			}
+		},
+	}
+	if _, err := RunFigure(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(Grid()) * spec.Scale.seeds())
+	if calls.Load() != want || sawTotal.Load() != want {
+		t.Fatalf("progress calls = %d (total %d), want %d", calls.Load(), sawTotal.Load(), want)
+	}
+}
+
+// Cancelling after the first completed cell must abort the grid promptly —
+// without running the remaining cells to completion — and leak no
+// goroutines (the -race run of this test is the leak detector the issue
+// asks for).
+func TestRunFigureCancelMidGrid(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	scale := schedScale()
+	scale.Steps = 4000 // long enough that 12 uncancelled cells would be slow
+	spec := Figure2(scale)
+	var completed atomic.Int64
+	spec.Sched = Sched{
+		Workers: 3,
+		Progress: func(done, total int, label string) {
+			completed.Add(1)
+			cancel()
+		},
+	}
+	start := time.Now()
+	res, err := RunFigure(ctx, spec)
+	elapsed := time.Since(start)
+	if err == nil || res != nil {
+		t.Fatalf("cancelled grid returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	// The grid has 12 cells; only the handful in flight at cancel time may
+	// finish.
+	if n := completed.Load(); n >= 12 {
+		t.Fatalf("all %d cells completed despite cancellation", n)
+	}
+	// Prompt: nowhere near the time 12 cells of 4000 steps would take.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// No goroutine leak: the pool joins all workers before returning.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d at start, %d after cancelled grid",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A pre-cancelled context must fail fast without touching any cell.
+func TestRunFigureCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Figure2(schedScale())
+	if _, err := RunFigure(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}

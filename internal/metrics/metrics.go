@@ -31,6 +31,15 @@ type History struct {
 	records []StepRecord
 }
 
+// NewHistory returns a history with room for capacity records, so training
+// loops that know their step count append without reallocating.
+func NewHistory(capacity int) *History {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &History{records: make([]StepRecord, 0, capacity)}
+}
+
 // Append adds a record. Steps should arrive in increasing order; this is
 // not enforced so partial traces from failed runs remain usable.
 func (h *History) Append(r StepRecord) { h.records = append(h.records, r) }

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"math"
+	"sync"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/vecmath"
+)
+
+// BatchGradienter is the batched fast path of ClippedGradient: a single
+// fused sweep over the batch that computes every per-sample gradient, clips
+// it to the given L2 norm and accumulates the average into dst, instead of
+// materializing one single-point Gradient call per sample. All models in
+// this package implement it; ClippedGradient dispatches onto it
+// automatically, so callers never need to name the interface.
+type BatchGradienter interface {
+	Model
+	// ClippedBatchGradient writes into dst (length Dim()) the average over
+	// the batch of per-sample gradients clipped to L2 norm clip, using buf
+	// (length Dim()) as scratch, and returns dst. clip must be positive.
+	// xSq, when non-nil, carries ‖X‖² per batch point (data.Batcher serves
+	// it from the dataset's construction-time cache), sparing the kernels
+	// that price clipping from feature norms a per-sample recomputation;
+	// nil means "compute as needed".
+	ClippedBatchGradient(dst, buf, w []float64, batch []data.Point, xSq []float64, clip float64) []float64
+}
+
+var (
+	_ BatchGradienter = (*LogisticMSE)(nil)
+	_ BatchGradienter = (*LogisticNLL)(nil)
+	_ BatchGradienter = (*LinearRegression)(nil)
+	_ BatchGradienter = (*MeanEstimation)(nil)
+	_ BatchGradienter = (*MLP)(nil)
+)
+
+// dloss* return dLoss/dz at pre-activation z and label y; the per-sample
+// gradient of an affine model is then g·[x, 1].
+func dlossLogisticMSE(z, y float64) float64 {
+	p := sigmoid(z)
+	return 2 * (p - y) * p * (1 - p)
+}
+
+func dlossLogisticNLL(z, y float64) float64 { return sigmoid(z) - y }
+
+func dlossLinearRegression(z, y float64) float64 { return 2 * (z - y) }
+
+// affineSampleCoeff returns the (possibly clipped) per-sample coefficient g
+// for one point of an affine model: the per-sample gradient g·[x, 1] has
+// norm |g|·√(‖x‖²+1), so clipping reduces to rescaling the scalar. With
+// clip <= 0 the raw coefficient is returned. The kernels range over the
+// point's own width (as the historical scalar loops did), so
+// dimension-confused inputs degrade instead of panicking here.
+func affineSampleCoeff(w []float64, p data.Point, xSq float64, haveSq bool, clip float64,
+	dloss func(z, y float64) float64) float64 {
+	if clip <= 0 {
+		// Raw batch gradient: no clipping, so the feature norm is never
+		// needed and the fused pass degenerates to a plain blocked dot.
+		return dloss(vecmath.DotBlocked(w[:len(p.X)], p.X)+w[len(w)-1], p.Y)
+	}
+	var dot, sq float64
+	if haveSq {
+		dot = vecmath.DotBlocked(w[:len(p.X)], p.X)
+		sq = xSq
+	} else {
+		dot, sq = vecmath.DotSqNorm(w[:len(p.X)], p.X)
+	}
+	g := dloss(dot+w[len(w)-1], p.Y)
+	if g != 0 {
+		if norm := math.Abs(g) * math.Sqrt(sq+1); norm > clip {
+			g *= clip / norm
+		}
+	}
+	return g
+}
+
+// affineBatch is the shared batched kernel of the three affine models, for
+// both the raw (clip <= 0) and per-sample-clipped (clip > 0) batch
+// gradients. Samples are processed four at a time: the four coefficients
+// are computed first, then one fused Axpy4 sweep accumulates them, touching
+// each dst coordinate once per block instead of once per sample.
+func affineBatch(dst, w []float64, batch []data.Point, xSq []float64, clip float64,
+	dloss func(z, y float64) float64) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	f := len(dst) - 1
+	var gs [4]float64
+	i := 0
+	for ; i+4 <= len(batch); i += 4 {
+		for k := 0; k < 4; k++ {
+			var sq float64
+			if xSq != nil {
+				sq = xSq[i+k]
+			}
+			g := affineSampleCoeff(w, batch[i+k], sq, xSq != nil, clip, dloss)
+			gs[k] = g
+			dst[f] += g
+		}
+		vecmath.Axpy4(dst, gs[0], batch[i].X, gs[1], batch[i+1].X,
+			gs[2], batch[i+2].X, gs[3], batch[i+3].X)
+	}
+	for ; i < len(batch); i++ {
+		var sq float64
+		if xSq != nil {
+			sq = xSq[i]
+		}
+		g := affineSampleCoeff(w, batch[i], sq, xSq != nil, clip, dloss)
+		vecmath.Axpy(g, batch[i].X, dst[:len(batch[i].X)])
+		dst[f] += g
+	}
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// ClippedBatchGradient implements BatchGradienter.
+func (m *LogisticMSE) ClippedBatchGradient(dst, _, w []float64, batch []data.Point, xSq []float64, clip float64) []float64 {
+	return affineBatch(dst, w, batch, xSq, clip, dlossLogisticMSE)
+}
+
+// ClippedBatchGradient implements BatchGradienter.
+func (m *LogisticNLL) ClippedBatchGradient(dst, _, w []float64, batch []data.Point, xSq []float64, clip float64) []float64 {
+	return affineBatch(dst, w, batch, xSq, clip, dlossLogisticNLL)
+}
+
+// ClippedBatchGradient implements BatchGradienter.
+func (m *LinearRegression) ClippedBatchGradient(dst, _, w []float64, batch []data.Point, xSq []float64, clip float64) []float64 {
+	return affineBatch(dst, w, batch, xSq, clip, dlossLinearRegression)
+}
+
+// ClippedBatchGradient implements BatchGradienter. The per-sample gradient
+// is w − x with ‖w − x‖² = ‖w‖² − 2·w·x + ‖x‖², so one fused pass per
+// sample yields the clip factor s and the update decomposes as
+// (Σ s_i)·w − Σ s_i·x_i, touching d coordinates once per sample.
+func (m *MeanEstimation) ClippedBatchGradient(dst, _, w []float64, batch []data.Point, xSq []float64, clip float64) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	wSq := vecmath.SqNorm(w)
+	var sSum float64
+	var ss [4]float64
+	sampleScale := func(i int) float64 {
+		var dot, sq float64
+		if xSq != nil {
+			dot = vecmath.DotBlocked(w, batch[i].X)
+			sq = xSq[i]
+		} else {
+			dot, sq = vecmath.DotSqNorm(w, batch[i].X)
+		}
+		normSq := wSq - 2*dot + sq
+		if normSq > clip*clip {
+			return clip / math.Sqrt(normSq)
+		}
+		return 1
+	}
+	i := 0
+	for ; i+4 <= len(batch); i += 4 {
+		for k := 0; k < 4; k++ {
+			s := sampleScale(i + k)
+			ss[k] = s
+			sSum += s
+		}
+		vecmath.Axpy4(dst, -ss[0], batch[i].X, -ss[1], batch[i+1].X,
+			-ss[2], batch[i+2].X, -ss[3], batch[i+3].X)
+	}
+	for ; i < len(batch); i++ {
+		s := sampleScale(i)
+		vecmath.Axpy(-s, batch[i].X, dst)
+		sSum += s
+	}
+	vecmath.Axpy(sSum, w, dst)
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// ClippedBatchGradient implements BatchGradienter: per-sample
+// backpropagation into buf with the squared norm accumulated as
+// coefficients are produced, then one scaled accumulation into dst. The
+// feature-norm cache is of no use here (the clip prices the full gradient
+// norm), so xSq is ignored. The hidden-activation scratch is pooled, so the
+// steady state allocates nothing.
+func (m *MLP) ClippedBatchGradient(dst, buf, w []float64, batch []data.Point, _ []float64, clip float64) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	hp := getHidden(m.hidden)
+	hBuf := *hp
+	for _, p := range batch {
+		sq := m.sampleGradient(buf, w, p, hBuf)
+		s := 1.0
+		if sq > clip*clip {
+			s = clip / math.Sqrt(sq)
+		}
+		vecmath.Axpy(s, buf, dst)
+	}
+	putHidden(hp)
+	inv := 1 / float64(len(batch))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// hiddenPool recycles MLP hidden-activation scratch so Loss/Predict/
+// gradient evaluations allocate nothing on the steady state of a training
+// loop (all buffers in one run share the hidden width).
+var hiddenPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getHidden returns a pooled scratch slice of length n.
+func getHidden(n int) *[]float64 {
+	p := hiddenPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putHidden returns a scratch slice to the pool.
+func putHidden(p *[]float64) { hiddenPool.Put(p) }

@@ -14,11 +14,32 @@ import (
 // instead would give sensitivity 2·clip, silently destroying the DP
 // guarantee.
 //
-// With clip <= 0 it computes the plain batch gradient.
+// With clip <= 0 it computes the plain batch gradient. Models implementing
+// BatchGradienter (all models in this package) are served by their fused
+// batched kernel; others fall back to one single-point Gradient call per
+// sample.
 func ClippedGradient(m Model, dst, buf, w []float64, batch []data.Point, clip float64) []float64 {
+	return ClippedGradientWithNorms(m, dst, buf, w, batch, nil, clip)
+}
+
+// ClippedGradientWithNorms is ClippedGradient with the batch's cached ‖X‖²
+// values (as served by data.Batcher.BatchSqNorms) forwarded to the batched
+// kernels, saving them a per-sample feature-norm pass. xSq may be nil; when
+// non-nil it must be aligned with batch.
+func ClippedGradientWithNorms(m Model, dst, buf, w []float64, batch []data.Point, xSq []float64, clip float64) []float64 {
 	if clip <= 0 {
 		return m.Gradient(dst, w, batch)
 	}
+	if bg, ok := m.(BatchGradienter); ok {
+		return bg.ClippedBatchGradient(dst, buf, w, batch, xSq, clip)
+	}
+	return clippedGradientPerSample(m, dst, buf, w, batch, clip)
+}
+
+// clippedGradientPerSample is the reference implementation: one Gradient
+// call per sample, clipped and accumulated. The batched kernels are tested
+// against it.
+func clippedGradientPerSample(m Model, dst, buf, w []float64, batch []data.Point, clip float64) []float64 {
 	for i := range dst {
 		dst[i] = 0
 	}

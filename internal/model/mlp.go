@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dpbyz/internal/data"
+	"dpbyz/internal/vecmath"
 )
 
 // MLP is a one-hidden-layer perceptron with tanh activations and a sigmoid
@@ -55,11 +56,8 @@ func (m *MLP) forward(w []float64, x []float64, hBuf []float64) float64 {
 	f := m.features
 	z := b2
 	for i := 0; i < m.hidden; i++ {
-		a := b1[i]
 		row := w1[i*f : (i+1)*f]
-		for j, xj := range x {
-			a += row[j] * xj
-		}
+		a := b1[i] + vecmath.DotBlocked(row[:len(x)], x)
 		hBuf[i] = math.Tanh(a)
 		z += w2[i] * hBuf[i]
 	}
@@ -68,18 +66,62 @@ func (m *MLP) forward(w []float64, x []float64, hBuf []float64) float64 {
 
 // Predict implements Predictor.
 func (m *MLP) Predict(w []float64, x []float64) float64 {
-	return m.forward(w, x, make([]float64, m.hidden))
+	hp := getHidden(m.hidden)
+	out := m.forward(w, x, *hp)
+	putHidden(hp)
+	return out
 }
 
 // Loss implements Model: mean of (out − y)².
 func (m *MLP) Loss(w []float64, batch []data.Point) float64 {
-	hBuf := make([]float64, m.hidden)
+	hp := getHidden(m.hidden)
+	hBuf := *hp
 	var s float64
 	for _, p := range batch {
 		d := m.forward(w, p.X, hBuf) - p.Y
 		s += d * d
 	}
+	putHidden(hp)
 	return s / float64(len(batch))
+}
+
+// sampleGradient writes the single-sample gradient at w into buf (length
+// Dim(), every entry overwritten) via explicit backpropagation, using hBuf
+// (length hidden) as activation scratch, and returns the gradient's squared
+// L2 norm, accumulated as the coefficients are produced so clipping needs
+// no extra pass.
+func (m *MLP) sampleGradient(buf, w []float64, p data.Point, hBuf []float64) float64 {
+	h, f := m.hidden, m.features
+	_, _, w2, _ := m.unpack(w)
+	gw1 := buf[:h*f]
+	gb1 := buf[h*f : h*f+h]
+	gw2 := buf[h*f+h : h*f+2*h]
+	out := m.forward(w, p.X, hBuf)
+	// dLoss/dz2 = 2(out − y)·out·(1 − out)
+	dz2 := 2 * (out - p.Y) * out * (1 - out)
+	buf[h*f+2*h] = dz2 // b2
+	sq := dz2 * dz2
+	for i := 0; i < h; i++ {
+		gv := dz2 * hBuf[i]
+		gw2[i] = gv
+		sq += gv * gv
+		// dLoss/da_i = dz2 · w2_i · (1 − tanh²)
+		da := dz2 * w2[i] * (1 - hBuf[i]*hBuf[i])
+		gb1[i] = da
+		sq += da * da
+		row := gw1[i*f : (i+1)*f]
+		for j, xj := range p.X {
+			rv := da * xj
+			row[j] = rv
+			sq += rv * rv
+		}
+		// Points narrower than the model contribute exact zeros to the
+		// tail weights (free when widths match).
+		for j := len(p.X); j < f; j++ {
+			row[j] = 0
+		}
+	}
+	return sq
 }
 
 // Gradient implements Model via explicit backpropagation.
@@ -92,7 +134,8 @@ func (m *MLP) Gradient(dst, w []float64, batch []data.Point) []float64 {
 	gw1 := dst[:h*f]
 	gb1 := dst[h*f : h*f+h]
 	gw2 := dst[h*f+h : h*f+2*h]
-	hBuf := make([]float64, h)
+	hp := getHidden(h)
+	hBuf := *hp
 	for _, p := range batch {
 		out := m.forward(w, p.X, hBuf)
 		// dLoss/dz2 = 2(out − y)·out·(1 − out)
@@ -109,6 +152,7 @@ func (m *MLP) Gradient(dst, w []float64, batch []data.Point) []float64 {
 			}
 		}
 	}
+	putHidden(hp)
 	inv := 1 / float64(len(batch))
 	for i := range dst {
 		dst[i] *= inv

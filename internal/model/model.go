@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"dpbyz/internal/data"
+	"dpbyz/internal/vecmath"
 )
 
 // Model is a differentiable learning task. Implementations must be
@@ -43,14 +44,66 @@ type Predictor interface {
 // ErrBadDimension is returned by constructors given non-positive dimensions.
 var ErrBadDimension = errors.New("model: non-positive dimension")
 
+// evalGrain is the fixed number of points per evaluation chunk used by
+// Accuracy and DatasetLoss. The chunk boundaries depend only on the dataset
+// size — never on GOMAXPROCS or the vecmath parallelism cap — so the
+// returned values are identical no matter how many cores execute the chunks.
+const evalGrain = 1024
+
+// evalChunks runs body(chunk) for every grain-sized chunk of n points,
+// fanning the chunks across the vecmath worker budget when there is more
+// than one. Each chunk index is processed exactly once.
+func evalChunks(n int, body func(c, lo, hi int)) {
+	chunks := (n + evalGrain - 1) / evalGrain
+	runRange := func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			lo := c * evalGrain
+			hi := lo + evalGrain
+			if hi > n {
+				hi = n
+			}
+			body(c, lo, hi)
+		}
+	}
+	w := vecmath.Parallelism()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		runRange(0, chunks)
+		return
+	}
+	vecmath.RunChunked(chunks, w, runRange)
+}
+
 // Accuracy returns the fraction of points in ds whose thresholded prediction
-// (at 0.5) matches the label. It returns 0 for an empty dataset.
+// (at 0.5) matches the label. It returns 0 for an empty dataset. The scan is
+// parallelized over fixed-size chunks of the dataset; the count is an exact
+// integer, so the result does not depend on the degree of parallelism.
 func Accuracy(m Predictor, w []float64, ds *data.Dataset) float64 {
 	if ds == nil || ds.Len() == 0 {
 		return 0
 	}
+	pts := ds.Points()
+	n := len(pts)
+	if n <= evalGrain {
+		return float64(accuracyRange(m, w, pts)) / float64(n)
+	}
+	counts := make([]int, (n+evalGrain-1)/evalGrain)
+	evalChunks(n, func(c, lo, hi int) {
+		counts[c] = accuracyRange(m, w, pts[lo:hi])
+	})
 	correct := 0
-	for _, p := range ds.Points() {
+	for _, c := range counts {
+		correct += c
+	}
+	return float64(correct) / float64(n)
+}
+
+// accuracyRange counts correct thresholded predictions over pts.
+func accuracyRange(m Predictor, w []float64, pts []data.Point) int {
+	correct := 0
+	for _, p := range pts {
 		pred := 0.0
 		if m.Predict(w, p.X) >= 0.5 {
 			pred = 1
@@ -59,15 +112,32 @@ func Accuracy(m Predictor, w []float64, ds *data.Dataset) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(ds.Len())
+	return correct
 }
 
-// DatasetLoss returns the average loss of w over the full dataset.
+// DatasetLoss returns the average loss of w over the full dataset, computed
+// as a fixed-grain chunked sum: chunk sums are produced independently (and
+// concurrently when cores are available) and reduced in chunk order, so the
+// value is identical at every parallelism level — though, beyond one grain,
+// not bit-identical to a single flat Loss scan.
 func DatasetLoss(m Model, w []float64, ds *data.Dataset) float64 {
 	if ds == nil || ds.Len() == 0 {
 		return 0
 	}
-	return m.Loss(w, ds.Points())
+	pts := ds.Points()
+	n := len(pts)
+	if n <= evalGrain {
+		return m.Loss(w, pts)
+	}
+	sums := make([]float64, (n+evalGrain-1)/evalGrain)
+	evalChunks(n, func(c, lo, hi int) {
+		sums[c] = m.Loss(w, pts[lo:hi]) * float64(hi-lo)
+	})
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	return total / float64(n)
 }
 
 // sigmoid is the numerically stable logistic function.
@@ -80,13 +150,13 @@ func sigmoid(z float64) float64 {
 }
 
 // affine returns w·x + bias where the bias is the last parameter; the
-// feature dimension is len(w)-1.
+// feature dimension is len(w)-1. The dot product runs on the blocked kernel
+// so loss evaluation keeps pace with the batched gradient path. Like the
+// historical scalar loop, it ranges over x, tolerating a w that carries more
+// features than the point (the cluster tests exercise dimension-confused
+// workers that way).
 func affine(w []float64, x []float64) float64 {
-	z := w[len(w)-1]
-	for j, xj := range x {
-		z += w[j] * xj
-	}
-	return z
+	return w[len(w)-1] + vecmath.DotBlocked(w[:len(x)], x)
 }
 
 // LogisticMSE is the paper's model: a logistic regressor trained with the
@@ -135,22 +205,7 @@ func (m *LogisticMSE) Loss(w []float64, batch []data.Point) float64 {
 
 // Gradient implements Model. dLoss/dz = 2(p − y)·p·(1 − p).
 func (m *LogisticMSE) Gradient(dst, w []float64, batch []data.Point) []float64 {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, p := range batch {
-		prob := sigmoid(affine(w, p.X))
-		g := 2 * (prob - p.Y) * prob * (1 - prob)
-		for j, xj := range p.X {
-			dst[j] += g * xj
-		}
-		dst[len(dst)-1] += g
-	}
-	inv := 1 / float64(len(batch))
-	for i := range dst {
-		dst[i] *= inv
-	}
-	return dst
+	return affineBatch(dst, w, batch, nil, 0, dlossLogisticMSE)
 }
 
 // LogisticNLL is standard logistic regression with the cross-entropy loss,
@@ -200,21 +255,7 @@ func (m *LogisticNLL) Loss(w []float64, batch []data.Point) float64 {
 
 // Gradient implements Model: mean over the batch of (sigmoid(z) − y)·x.
 func (m *LogisticNLL) Gradient(dst, w []float64, batch []data.Point) []float64 {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, p := range batch {
-		g := sigmoid(affine(w, p.X)) - p.Y
-		for j, xj := range p.X {
-			dst[j] += g * xj
-		}
-		dst[len(dst)-1] += g
-	}
-	inv := 1 / float64(len(batch))
-	for i := range dst {
-		dst[i] *= inv
-	}
-	return dst
+	return affineBatch(dst, w, batch, nil, 0, dlossLogisticNLL)
 }
 
 // LinearRegression is ordinary least squares with MSE loss, the simplest
@@ -254,21 +295,7 @@ func (m *LinearRegression) Loss(w []float64, batch []data.Point) float64 {
 
 // Gradient implements Model.
 func (m *LinearRegression) Gradient(dst, w []float64, batch []data.Point) []float64 {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, p := range batch {
-		g := 2 * (affine(w, p.X) - p.Y)
-		for j, xj := range p.X {
-			dst[j] += g * xj
-		}
-		dst[len(dst)-1] += g
-	}
-	inv := 1 / float64(len(batch))
-	for i := range dst {
-		dst[i] *= inv
-	}
-	return dst
+	return affineBatch(dst, w, batch, nil, 0, dlossLinearRegression)
 }
 
 // MeanEstimation is Theorem 1's lower-bound objective
@@ -310,16 +337,23 @@ func (m *MeanEstimation) Loss(w []float64, batch []data.Point) float64 {
 	return s / (2 * float64(len(batch)))
 }
 
-// Gradient implements Model: mean of (w − x) over the batch.
+// Gradient implements Model: mean of (w − x) over the batch, accumulated
+// four samples per sweep (x-major, cache-friendly — the historical kernel
+// walked the batch once per coordinate).
 func (m *MeanEstimation) Gradient(dst, w []float64, batch []data.Point) []float64 {
-	copy(dst, w)
+	for j := range dst {
+		dst[j] = 0
+	}
+	i := 0
+	for ; i+4 <= len(batch); i += 4 {
+		vecmath.Axpy4(dst, 1, batch[i].X, 1, batch[i+1].X, 1, batch[i+2].X, 1, batch[i+3].X)
+	}
+	for ; i < len(batch); i++ {
+		vecmath.Axpy(1, batch[i].X, dst)
+	}
 	inv := 1 / float64(len(batch))
 	for j := range dst {
-		var s float64
-		for _, p := range batch {
-			s += p.X[j]
-		}
-		dst[j] -= s * inv
+		dst[j] = w[j] - dst[j]*inv
 	}
 	return dst
 }

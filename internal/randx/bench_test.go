@@ -1,0 +1,32 @@
+package randx
+
+import "testing"
+
+// The ziggurat-vs-Box-Muller gap is the headline randx win: table lookups
+// against log/sqrt/sin/cos per pair.
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Normal()
+	}
+	_ = sink
+}
+
+func BenchmarkNormalBoxMuller(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormalBoxMuller()
+	}
+	_ = sink
+}
+
+func BenchmarkSample(b *testing.B) {
+	r := New(1)
+	idx := make([]int, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Sample(idx, 8400)
+	}
+}

@@ -8,6 +8,17 @@
 // recommended by the xoshiro authors. Streams can be split hierarchically
 // (per worker, per purpose) with Derive, giving independent sequences
 // without any shared mutable state, so concurrent workers never contend.
+//
+// # Stream compatibility
+//
+// Normal (and everything layered on it: NormalVec, the dp mechanisms, the
+// synthetic dataset generators) uses a 256-strip ziggurat sampler. Earlier
+// revisions used the Box-Muller transform, which consumes the underlying
+// uniform stream differently, so Gaussian draws — and therefore entire
+// simulation trajectories — are NOT bit-compatible across that switch.
+// Runs remain a pure function of their seed within any one build; only
+// cross-revision bit-identity was given up. The Box-Muller sampler is kept
+// as NormalBoxMuller for bit-compatibility tests against the old stream.
 package randx
 
 import "math"
@@ -16,9 +27,17 @@ import "math"
 // concurrent use; derive one stream per goroutine instead.
 type Stream struct {
 	s [4]uint64
-	// spare caches the second Box-Muller Gaussian variate.
+	// spare caches the second Box-Muller Gaussian variate (NormalBoxMuller
+	// only; the ziggurat path never touches it).
 	spare    float64
 	hasSpare bool
+	// sampleKeys/sampleGen back Sample's stream-owned open-addressing set,
+	// so steady-state batch draws never allocate. A slot is occupied only
+	// when its generation stamp matches sampleEpoch, which makes clearing
+	// the set between draws a single counter increment instead of a memset.
+	sampleKeys  []int
+	sampleStamp []uint64
+	sampleEpoch uint64
 }
 
 // splitMix64 advances x by the SplitMix64 step and returns the mixed output.
@@ -105,22 +124,109 @@ func mul64(a, b uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// Perm returns a uniformly random permutation of [0, n).
-func (r *Stream) Perm(n int) []int {
-	p := make([]int, n)
+// PermInto fills p with a uniformly random permutation of [0, len(p)) and
+// returns p. It draws the same variates as Perm, without allocating.
+func (r *Stream) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
 }
 
-// Normal returns a standard Gaussian variate via the Box-Muller transform
-// (the second variate of each pair is cached).
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	return r.PermInto(make([]int, n))
+}
+
+// Ziggurat tables for the standard normal, following Marsaglia & Tsang
+// (2000) with 256 strips of equal area zigV and rightmost edge zigR. The
+// tables are built deterministically at init, so every build agrees on them.
+//
+// zigX[i] holds the strip x-edges in decreasing order: zigX[1] = R down to
+// zigX[zigStrips] = 0, with zigX[0] = V/f(R) the widened base strip that
+// also covers the tail mass. zigY[i] = f(zigX[i]) = exp(-zigX[i]²/2) are the
+// corresponding heights, zigY[zigStrips] = f(0) = 1.
+const (
+	zigStrips = 256
+	zigR      = 3.6541528853610088
+	zigV      = 0.00492867323399
+)
+
+var (
+	zigX [zigStrips + 1]float64
+	zigY [zigStrips + 1]float64
+)
+
+func init() {
+	f := math.Exp(-0.5 * zigR * zigR)
+	zigX[0] = zigV / f
+	zigX[1] = zigR
+	zigY[0] = f
+	zigY[1] = f
+	for i := 2; i < zigStrips; i++ {
+		zigY[i] = zigY[i-1] + zigV/zigX[i-1]
+		zigX[i] = math.Sqrt(-2 * math.Log(zigY[i]))
+	}
+	zigX[zigStrips] = 0
+	zigY[zigStrips] = 1
+}
+
+// Normal returns a standard Gaussian variate via the ziggurat method: the
+// common case is one uniform draw, a table lookup and a multiply, versus
+// Box-Muller's log/sqrt/sin/cos per pair. See the package comment for the
+// stream-compatibility consequences.
 func (r *Stream) Normal() float64 {
+	for {
+		u := r.Uint64()
+		i := int(u & 0xFF)
+		// Bits 11..63 as a signed 53-bit integer give a uniform in [-1, 1);
+		// the low bits reused for the strip index do not overlap.
+		x := float64(int64(u)>>11) * (1.0 / (1 << 52)) * zigX[i]
+		if math.Abs(x) < zigX[i+1] {
+			return x // inside the strip's inner rectangle (~98.8% of draws)
+		}
+		if i == 0 {
+			return r.normalTail(x < 0)
+		}
+		// Wedge: accept with probability proportional to the density above
+		// the inner rectangle.
+		if zigY[i]+r.Float64()*(zigY[i+1]-zigY[i]) < math.Exp(-0.5*x*x) {
+			return x
+		}
+	}
+}
+
+// normalTail samples from the Gaussian tail beyond zigR (Marsaglia's
+// exponential-rejection tail method).
+func (r *Stream) normalTail(neg bool) float64 {
+	for {
+		u1 := r.Float64()
+		for u1 == 0 {
+			u1 = r.Float64()
+		}
+		u2 := r.Float64()
+		for u2 == 0 {
+			u2 = r.Float64()
+		}
+		x := -math.Log(u1) * (1 / zigR)
+		if -2*math.Log(u2) >= x*x {
+			if neg {
+				return -(zigR + x)
+			}
+			return zigR + x
+		}
+	}
+}
+
+// NormalBoxMuller returns a standard Gaussian variate via the Box-Muller
+// transform (the second variate of each pair is cached). This is the
+// pre-ziggurat sampler, kept so the historical uniform-stream consumption
+// pattern stays testable; new code should use Normal.
+func (r *Stream) NormalBoxMuller() float64 {
 	if r.hasSpare {
 		r.hasSpare = false
 		return r.spare
@@ -164,20 +270,63 @@ func (r *Stream) LaplaceVec(dst []float64, scale float64) []float64 {
 }
 
 // Sample fills idx with a uniform sample WITHOUT replacement from [0, n).
-// It panics when len(idx) > n.
+// It panics when len(idx) > n. The membership set lives on the stream, so
+// steady-state draws (the per-step batch sampling of every worker) are
+// allocation-free; the drawn variates are identical to the original
+// map-backed implementation.
 func (r *Stream) Sample(idx []int, n int) {
 	k := len(idx)
 	if k > n {
 		panic("randx: sample size exceeds population")
 	}
+	if k == 0 {
+		return
+	}
+	r.ensureSampleTab(k)
+	keys, stamp := r.sampleKeys, r.sampleStamp
+	mask := len(keys) - 1
+	r.sampleEpoch++
+	epoch := r.sampleEpoch
 	// Floyd's algorithm: O(k) time, O(k) extra space.
-	chosen := make(map[int]struct{}, k)
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, dup := chosen[t]; dup {
-			t = j
+		// Probe for t; if present, Floyd's replaces it with j (which cannot
+		// be present yet). Either way the probed key is inserted at the
+		// first free slot of its own probe chain.
+		key := t
+		s := sampleSlot(key, mask)
+		for stamp[s] == epoch {
+			if keys[s] == key {
+				key = j
+				s = sampleSlot(key, mask)
+				continue
+			}
+			s = (s + 1) & mask
 		}
-		chosen[t] = struct{}{}
-		idx[j-(n-k)] = t
+		keys[s] = key
+		stamp[s] = epoch
+		idx[j-(n-k)] = key
 	}
+}
+
+// ensureSampleTab sizes the stream's membership table for k entries at a
+// load factor of at most one half.
+func (r *Stream) ensureSampleTab(k int) {
+	size := 4
+	for size < 2*k {
+		size <<= 1
+	}
+	if cap(r.sampleKeys) < size {
+		r.sampleKeys = make([]int, size)
+		r.sampleStamp = make([]uint64, size)
+		r.sampleEpoch = 0
+	}
+	r.sampleKeys = r.sampleKeys[:size]
+	r.sampleStamp = r.sampleStamp[:size]
+}
+
+// sampleSlot mixes a key into a starting probe slot.
+func sampleSlot(key, mask int) int {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return int(h>>33) & mask
 }

@@ -1,0 +1,37 @@
+package randx
+
+import "testing"
+
+// The stream-owned hash set must be a drop-in for the historical map-backed
+// Floyd's sampler: same uniform draws, same chosen indices, same order.
+func TestSampleMatchesMapBackedFloyds(t *testing.T) {
+	ref := func(r *Stream, idx []int, n int) {
+		k := len(idx)
+		chosen := make(map[int]struct{}, k)
+		for j := n - k; j < n; j++ {
+			t := r.Intn(j + 1)
+			if _, dup := chosen[t]; dup {
+				t = j
+			}
+			chosen[t] = struct{}{}
+			idx[j-(n-k)] = t
+		}
+	}
+	for _, tc := range []struct{ k, n int }{
+		{1, 1}, {1, 100}, {7, 8}, {50, 1400}, {500, 501}, {64, 64},
+	} {
+		a, b := New(uint64(tc.n*31+tc.k)), New(uint64(tc.n*31+tc.k))
+		got := make([]int, tc.k)
+		want := make([]int, tc.k)
+		for rep := 0; rep < 5; rep++ {
+			a.Sample(got, tc.n)
+			ref(b, want, tc.n)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d n=%d rep %d: idx[%d] = %d, want %d",
+						tc.k, tc.n, rep, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

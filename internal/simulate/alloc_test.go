@@ -1,0 +1,110 @@
+//go:build !race
+
+package simulate
+
+import (
+	"testing"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/model"
+	"dpbyz/internal/vecmath"
+)
+
+// allocGateConfig is a DP-on training run on the paper's logistic model.
+// Accuracy/VN tracking is off: those metrics run every k-th step and are
+// allowed to allocate (goroutine fan-out, aggregation scratch).
+func allocGateConfig(t *testing.T, workerMomentum float64, postNoise bool) Config {
+	t.Helper()
+	ds, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
+		N: 600, Features: 12, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLogisticMSE(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gar.NewAverage(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := dp.NewGaussian(0.01, 20, dp.Budget{Epsilon: 0.2, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Model:             m,
+		Train:             ds,
+		GAR:               g,
+		Mechanism:         mech,
+		Steps:             1 << 20, // capacity bound for the history, never reached
+		BatchSize:         20,
+		LearningRate:      0.5,
+		WorkerMomentum:    workerMomentum,
+		MomentumPostNoise: postNoise,
+		ClipNorm:          0.01,
+		Seed:              1,
+	}
+}
+
+// The steady-state worker step — batch sample, batched clipped gradient,
+// fused noise/momentum, aggregation, server update, loss recording — must
+// allocate nothing, in both worker pipelines.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+	for _, tc := range []struct {
+		name      string
+		momentum  float64
+		postNoise bool
+	}{
+		{name: "theory-pipeline", momentum: 0},
+		{name: "paper-pipeline", momentum: 0.99},
+		{name: "post-noise-momentum", momentum: 0.9, postNoise: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := allocGateConfig(t, tc.momentum, tc.postNoise)
+			r, err := newRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := 0
+			// Warm the pools and the history's first appends.
+			for ; step < 32; step++ {
+				if err := r.step(step); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				if err := r.step(step); err != nil {
+					t.Fatal(err)
+				}
+				step++
+			}); allocs != 0 {
+				t.Errorf("steady-state step allocs/op = %v, want 0", allocs)
+			}
+		})
+	}
+}
+
+// The history back-buffer is sized up front, so appends never reallocate
+// within a run's configured step budget.
+func TestHistoryPreallocated(t *testing.T) {
+	cfg := allocGateConfig(t, 0, false)
+	cfg.Steps = 64
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		if err := r.step(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.history.Len() != cfg.Steps {
+		t.Fatalf("history length %d", r.history.Len())
+	}
+}

@@ -1,0 +1,64 @@
+package simulate
+
+import (
+	"context"
+	"testing"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/model"
+	"dpbyz/internal/vecmath"
+)
+
+// stepBenchConfig is the paper's Fig. 2 worker-step shape: 11 workers,
+// d = 69 (68 features + bias), b = 50, per-sample clipping and Gaussian DP
+// noise. The aggregation rule is plain averaging so the benchmark isolates
+// the per-worker compute pipeline (sample → gradient → clip → noise).
+func stepBenchConfig(b *testing.B, steps int) Config {
+	b.Helper()
+	ds, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
+		N: 2000, Features: 68, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.NewLogisticMSE(68)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gar.NewAverage(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mech, err := dp.NewGaussian(0.01, 50, dp.Budget{Epsilon: 0.2, Delta: 1e-6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Model:        m,
+		Train:        ds,
+		GAR:          g,
+		Mechanism:    mech,
+		Steps:        steps,
+		BatchSize:    50,
+		LearningRate: 0.5,
+		ClipNorm:     0.01,
+		Seed:         1,
+	}
+}
+
+// BenchmarkSimulateStep measures the steady-state cost of one synchronous
+// SGD step (all 11 workers plus aggregation and the server update) on a
+// single goroutine. Steps = b.N amortizes the setup, so ns/op is the
+// per-step cost and allocs/op approaches the steady-state allocation rate.
+func BenchmarkSimulateStep(b *testing.B) {
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+	cfg := stepBenchConfig(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+}

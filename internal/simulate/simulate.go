@@ -11,6 +11,13 @@
 // The simulation is deterministic in Config.Seed: every worker derives an
 // independent randomness stream, so worker goroutines can run concurrently
 // without affecting the result.
+//
+// The per-worker hot path is fused: the batched gradient kernels
+// (model.BatchGradienter) fold per-sample clipping into the batch sweep,
+// and the noise → momentum → submission stages each touch the d
+// coordinates once, into worker-owned buffers. The steady-state step
+// allocates nothing beyond what a configured Attack allocates to craft its
+// vector.
 package simulate
 
 import (
@@ -184,191 +191,259 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// worker is one simulated node's state.
+// worker is one simulated node's state. Every buffer is worker-owned, so
+// the parallel path shares nothing mutable between goroutines.
 type worker struct {
 	batcher *data.Batcher
 	noise   *randx.Stream
-	grad    []float64
+	// grad holds the (clipped) batch gradient of the step.
+	grad []float64
+	// sub is the submission buffer the server reads; keeping it separate
+	// from grad and momentum lets noise and momentum fuse into single
+	// passes without an extra copy.
+	sub []float64
+	// out points at the vector this worker submits this step (grad or sub).
+	out []float64
 	// clipBuf is the per-sample gradient scratch for ClippedGradient.
 	clipBuf []float64
 	// momentum is the worker-side momentum buffer (nil when disabled).
 	momentum []float64
 	// lastBatch is the batch used this step, retained for loss recording.
+	// It aliases the batcher's reused slice, which stays valid until the
+	// next Next call — i.e. through the end of the step.
 	lastBatch []data.Point
 }
 
-// Run executes the configured training and returns the final parameters and
-// metric history. The context cancels long runs between steps.
-func Run(ctx context.Context, cfg Config) (*Result, error) {
+// runner is one training run's full mutable state; Run drives it step by
+// step. Splitting construction from stepping lets tests and benchmarks
+// measure the steady-state step in isolation.
+type runner struct {
+	cfg         Config
+	n, f        int
+	computeFrom int
+	workers     []*worker
+	attackRng   *randx.Stream
+	w           []float64
+	velocity    []float64
+	agg         []float64
+	submissions [][]float64
+	honest      [][]float64
+	predictor   model.Predictor
+	history     *metrics.History
+}
+
+// newRunner validates cfg and allocates every buffer the run will touch, so
+// the step loop itself runs allocation-free.
+func newRunner(cfg Config) (*runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	d := cfg.Model.Dim()
 	n := cfg.GAR.N()
-	f := cfg.GAR.F()
 	root := randx.New(cfg.Seed)
 
-	workers := make([]*worker, n)
-	for i := range workers {
+	r := &runner{
+		cfg:         cfg,
+		n:           n,
+		f:           cfg.GAR.F(),
+		workers:     make([]*worker, n),
+		attackRng:   root.Derive(purposeAttack),
+		w:           make([]float64, d),
+		velocity:    make([]float64, d),
+		agg:         make([]float64, d),
+		submissions: make([][]float64, n),
+		honest:      make([][]float64, 0, n),
+		history:     metrics.NewHistory(cfg.Steps),
+	}
+	for i := range r.workers {
 		b, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(purposeBatch, uint64(i)))
 		if err != nil {
 			return nil, fmt.Errorf("simulate: worker %d batcher: %w", i, err)
 		}
-		workers[i] = &worker{
+		r.workers[i] = &worker{
 			batcher: b,
 			noise:   root.Derive(purposeNoise, uint64(i)),
 			grad:    make([]float64, d),
+			sub:     make([]float64, d),
 			clipBuf: make([]float64, d),
 		}
 		if cfg.WorkerMomentum > 0 {
-			workers[i].momentum = make([]float64, d)
+			r.workers[i].momentum = make([]float64, d)
 		}
 	}
-	attackRng := root.Derive(purposeAttack)
-
-	w := make([]float64, d)
 	if cfg.InitParams != nil {
-		copy(w, cfg.InitParams)
+		copy(r.w, cfg.InitParams)
 	}
-	velocity := make([]float64, d)
-	history := &metrics.History{}
-	submissions := make([][]float64, n)
-	// agg and honest are reused every step: together with the GAR's pooled
-	// AggregateInto path the steady-state loop allocates no gradient-sized
-	// slices per step.
-	agg := make([]float64, d)
-	honest := make([][]float64, 0, n)
+	// The first f slots are the Byzantine workers; they also compute an
+	// honest gradient when no attack is configured (the paper's unattacked
+	// runs keep all n workers honest).
+	if cfg.Attack != nil {
+		r.computeFrom = r.f
+	}
+	r.predictor, _ = cfg.Model.(model.Predictor)
+	return r, nil
+}
 
-	predictor, _ := cfg.Model.(model.Predictor)
+// runWorker executes one worker's fused step pipeline and leaves the
+// submission in wk.out.
+func (r *runner) runWorker(i int) {
+	cfg := &r.cfg
+	wk := r.workers[i]
+	wk.lastBatch = wk.batcher.Next()
+	if wk.momentum != nil && !cfg.MomentumPostNoise {
+		// Paper pipeline: momentum over raw gradients, then clip, then
+		// noise (see MomentumPostNoise for the DP caveat). The momentum
+		// update and the clip's norm accumulate in one pass; the clip
+		// scale and the copy into the submission buffer fuse into a
+		// second.
+		cfg.Model.Gradient(wk.grad, r.w, wk.lastBatch)
+		var sq float64
+		for j, g := range wk.grad {
+			m := cfg.WorkerMomentum*wk.momentum[j] + g
+			wk.momentum[j] = m
+			sq += m * m
+		}
+		scale := 1.0
+		if cfg.ClipNorm > 0 {
+			if norm := math.Sqrt(sq); norm > cfg.ClipNorm {
+				scale = cfg.ClipNorm / norm
+			}
+		}
+		for j, m := range wk.momentum {
+			wk.sub[j] = scale * m
+		}
+		if cfg.Mechanism != nil {
+			cfg.Mechanism.Perturb(wk.sub, wk.noise)
+		}
+		wk.out = wk.sub
+		return
+	}
+	// Theory pipeline: per-sample clipping (Assumption 1) gives the
+	// 2·Gmax/b sensitivity the DP noise is calibrated to; the batched
+	// kernel folds the clip into the gradient sweep, priced with the
+	// dataset's cached feature norms.
+	model.ClippedGradientWithNorms(cfg.Model, wk.grad, wk.clipBuf, r.w,
+		wk.lastBatch, wk.batcher.BatchSqNorms(), cfg.ClipNorm)
+	out := wk.grad
+	if cfg.Mechanism != nil {
+		// Momentum as post-processing of the noisy release keeps the DP
+		// guarantee exact.
+		cfg.Mechanism.PerturbInto(wk.sub, wk.grad, wk.noise)
+		out = wk.sub
+	}
+	if wk.momentum != nil {
+		for j, g := range out {
+			m := cfg.WorkerMomentum*wk.momentum[j] + g
+			wk.momentum[j] = m
+			wk.sub[j] = m
+		}
+		out = wk.sub
+	}
+	wk.out = out
+}
 
+// step advances the run by one synchronous SGD round.
+func (r *runner) step(step int) error {
+	cfg := &r.cfg
+
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for i := r.computeFrom; i < r.n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.runWorker(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := r.computeFrom; i < r.n; i++ {
+			r.runWorker(i)
+		}
+	}
+	if cfg.Mechanism != nil && cfg.Accountant != nil {
+		for i := r.computeFrom; i < r.n; i++ {
+			cfg.Accountant.Record()
+		}
+	}
+
+	r.honest = r.honest[:0]
+	for i := r.computeFrom; i < r.n; i++ {
+		r.honest = append(r.honest, r.workers[i].out)
+	}
+
+	// Byzantine submissions: every Byzantine worker sends the same crafted
+	// vector, per the collusion model of §5.1.
+	if cfg.Attack != nil {
+		crafted, err := cfg.Attack.Craft(r.honest, r.attackRng)
+		if err != nil {
+			return fmt.Errorf("simulate: step %d attack: %w", step, err)
+		}
+		for i := 0; i < r.f; i++ {
+			r.submissions[i] = crafted
+		}
+	}
+	for i := r.computeFrom; i < r.n; i++ {
+		r.submissions[i] = r.workers[i].out
+	}
+
+	if err := gar.AggregateInto(cfg.GAR, r.agg, r.submissions); err != nil {
+		return fmt.Errorf("simulate: step %d aggregate: %w", step, err)
+	}
+
+	// Server update with momentum: v ← m·v + G, w ← w − γ_t·v.
+	lr := cfg.LearningRate
+	if cfg.LRSchedule != nil {
+		lr = cfg.LRSchedule(step)
+		if lr <= 0 {
+			return fmt.Errorf("simulate: schedule returned non-positive rate %v at step %d", lr, step)
+		}
+	}
+	for i := range r.velocity {
+		r.velocity[i] = cfg.Momentum*r.velocity[i] + r.agg[i]
+		r.w[i] -= lr * r.velocity[i]
+	}
+	if !vecmath.AllFinite(r.w) {
+		return fmt.Errorf("%w at step %d", ErrDiverged, step)
+	}
+
+	rec := metrics.StepRecord{
+		Step:     step,
+		Loss:     honestBatchLoss(cfg.Model, r.w, r.workers[r.computeFrom:]),
+		Accuracy: math.NaN(),
+		VNRatio:  math.NaN(),
+	}
+	if cfg.AccuracyEvery > 0 && r.predictor != nil && cfg.Test != nil &&
+		(step%cfg.AccuracyEvery == 0 || step == cfg.Steps-1) {
+		rec.Accuracy = model.Accuracy(r.predictor, r.w, cfg.Test)
+	}
+	if cfg.VNRatioEvery > 0 && step%cfg.VNRatioEvery == 0 {
+		if ratio, err := gar.EmpiricalVNRatio(r.honest); err == nil {
+			rec.VNRatio = ratio
+		}
+	}
+	r.history.Append(rec)
+	return nil
+}
+
+// Run executes the configured training and returns the final parameters and
+// metric history. The context cancels long runs between steps.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	for step := 0; step < cfg.Steps; step++ {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("simulate: step %d: %w", step, ctx.Err())
 		default:
 		}
-
-		// Honest computation. The first f slots are the Byzantine workers;
-		// they also compute an honest gradient when no attack is configured
-		// (the paper's unattacked runs keep all n workers honest).
-		computeFrom := 0
-		if cfg.Attack != nil {
-			computeFrom = f
+		if err := r.step(step); err != nil {
+			return nil, err
 		}
-		runWorker := func(i int) {
-			wk := workers[i]
-			wk.lastBatch = wk.batcher.Next()
-			if wk.momentum != nil && !cfg.MomentumPostNoise {
-				// Paper pipeline: momentum over raw gradients, then clip,
-				// then noise (see MomentumPostNoise for the DP caveat).
-				cfg.Model.Gradient(wk.grad, w, wk.lastBatch)
-				for j := range wk.momentum {
-					wk.momentum[j] = cfg.WorkerMomentum*wk.momentum[j] + wk.grad[j]
-				}
-				copy(wk.grad, wk.momentum)
-				if cfg.ClipNorm > 0 {
-					vecmath.ClipL2(wk.grad, cfg.ClipNorm)
-				}
-				if cfg.Mechanism != nil {
-					cfg.Mechanism.Perturb(wk.grad, wk.noise)
-				}
-				return
-			}
-			// Theory pipeline: per-sample clipping (Assumption 1) gives the
-			// 2·Gmax/b sensitivity the DP noise is calibrated to.
-			model.ClippedGradient(cfg.Model, wk.grad, wk.clipBuf, w, wk.lastBatch, cfg.ClipNorm)
-			if cfg.Mechanism != nil {
-				cfg.Mechanism.Perturb(wk.grad, wk.noise)
-			}
-			if wk.momentum != nil {
-				// Momentum as post-processing of the noisy release keeps
-				// the DP guarantee exact.
-				for j := range wk.momentum {
-					wk.momentum[j] = cfg.WorkerMomentum*wk.momentum[j] + wk.grad[j]
-				}
-				copy(wk.grad, wk.momentum)
-			}
-		}
-		if cfg.Parallel {
-			var wg sync.WaitGroup
-			for i := computeFrom; i < n; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					runWorker(i)
-				}(i)
-			}
-			wg.Wait()
-		} else {
-			for i := computeFrom; i < n; i++ {
-				runWorker(i)
-			}
-		}
-		if cfg.Mechanism != nil && cfg.Accountant != nil {
-			for i := computeFrom; i < n; i++ {
-				cfg.Accountant.Record()
-			}
-		}
-
-		honest = honest[:0]
-		for i := computeFrom; i < n; i++ {
-			honest = append(honest, workers[i].grad)
-		}
-
-		// Byzantine submissions: every Byzantine worker sends the same
-		// crafted vector, per the collusion model of §5.1.
-		if cfg.Attack != nil {
-			crafted, err := cfg.Attack.Craft(honest, attackRng)
-			if err != nil {
-				return nil, fmt.Errorf("simulate: step %d attack: %w", step, err)
-			}
-			for i := 0; i < f; i++ {
-				submissions[i] = crafted
-			}
-		}
-		for i := computeFrom; i < n; i++ {
-			submissions[i] = workers[i].grad
-		}
-
-		if err := gar.AggregateInto(cfg.GAR, agg, submissions); err != nil {
-			return nil, fmt.Errorf("simulate: step %d aggregate: %w", step, err)
-		}
-
-		// Server update with momentum: v ← m·v + G, w ← w − γ_t·v.
-		lr := cfg.LearningRate
-		if cfg.LRSchedule != nil {
-			lr = cfg.LRSchedule(step)
-			if lr <= 0 {
-				return nil, fmt.Errorf("simulate: schedule returned non-positive rate %v at step %d", lr, step)
-			}
-		}
-		for i := range velocity {
-			velocity[i] = cfg.Momentum*velocity[i] + agg[i]
-			w[i] -= lr * velocity[i]
-		}
-		if !vecmath.AllFinite(w) {
-			return nil, fmt.Errorf("%w at step %d", ErrDiverged, step)
-		}
-
-		rec := metrics.StepRecord{
-			Step:     step,
-			Loss:     honestBatchLoss(cfg.Model, w, workers[computeFrom:]),
-			Accuracy: math.NaN(),
-			VNRatio:  math.NaN(),
-		}
-		if cfg.AccuracyEvery > 0 && predictor != nil && cfg.Test != nil &&
-			(step%cfg.AccuracyEvery == 0 || step == cfg.Steps-1) {
-			rec.Accuracy = model.Accuracy(predictor, w, cfg.Test)
-		}
-		if cfg.VNRatioEvery > 0 && step%cfg.VNRatioEvery == 0 {
-			if ratio, err := gar.EmpiricalVNRatio(honest); err == nil {
-				rec.VNRatio = ratio
-			}
-		}
-		history.Append(rec)
 	}
-
-	return &Result{Params: w, History: history}, nil
+	return &Result{Params: r.w, History: r.history}, nil
 }
 
 // honestBatchLoss averages the model loss at w over the honest workers'

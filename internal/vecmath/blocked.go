@@ -1,0 +1,75 @@
+package vecmath
+
+// This file holds the blocked (4-way unrolled) vector kernels behind the
+// batched gradient fast paths. The unrolling breaks the sequential
+// dependence between adds so the CPU can keep several FMAs in flight; the
+// reduction order of each kernel is fixed (independent of input values and
+// of any parallelism setting), so results are deterministic everywhere.
+
+// DotBlocked returns the inner product <a, b> accumulated in four
+// interleaved partial sums. The reduction order differs from Dot, so the two
+// agree only up to floating-point rounding; use one or the other
+// consistently within a computation that must be reproducible.
+func DotBlocked(a, b []float64) float64 {
+	assertSameLen(a, b)
+	var d0, d1, d2, d3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 += a[i] * b[i]
+		d1 += a[i+1] * b[i+1]
+		d2 += a[i+2] * b[i+2]
+		d3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		d0 += a[i] * b[i]
+	}
+	return (d0 + d1) + (d2 + d3)
+}
+
+// Axpy4 performs dst += a0·x0 + a1·x1 + a2·x2 + a3·x3 in one pass: the
+// batched gradient kernels accumulate four samples per sweep, loading and
+// storing each dst coordinate once instead of four times. The four vectors
+// normally share dst's length; if they disagree (dimension-confused
+// inputs), it degrades to four independent Axpy calls.
+func Axpy4(dst []float64, a0 float64, x0 []float64, a1 float64, x1 []float64,
+	a2 float64, x2 []float64, a3 float64, x3 []float64) {
+	n := len(x0)
+	if len(x1) != n || len(x2) != n || len(x3) != n || len(dst) < n {
+		Axpy(a0, x0, dst[:len(x0)])
+		Axpy(a1, x1, dst[:len(x1)])
+		Axpy(a2, x2, dst[:len(x2)])
+		Axpy(a3, x3, dst[:len(x3)])
+		return
+	}
+	d := dst[:n]
+	for j := 0; j < n; j++ {
+		d[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+// DotSqNorm returns <a, b> and ‖b‖² in a single blocked pass — the fused
+// kernel behind the linear models' batched per-sample clipping, where both
+// the score w·x and the per-sample gradient norm |g|·√(‖x‖²+1) are needed
+// per point.
+func DotSqNorm(a, b []float64) (dot, bSq float64) {
+	assertSameLen(a, b)
+	var d0, d1, d2, d3 float64
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		d0 += a[i] * b0
+		d1 += a[i+1] * b1
+		d2 += a[i+2] * b2
+		d3 += a[i+3] * b3
+		s0 += b0 * b0
+		s1 += b1 * b1
+		s2 += b2 * b2
+		s3 += b3 * b3
+	}
+	for ; i < len(a); i++ {
+		d0 += a[i] * b[i]
+		s0 += b[i] * b[i]
+	}
+	return (d0 + d1) + (d2 + d3), (s0 + s1) + (s2 + s3)
+}

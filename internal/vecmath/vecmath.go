@@ -113,10 +113,19 @@ func ScaleInPlace(s float64, v []float64) []float64 {
 	return v
 }
 
-// Axpy performs dst += alpha * x in place and returns dst.
+// Axpy performs dst += alpha * x in place and returns dst. The loop is
+// unrolled four-wide; each coordinate is updated independently, so the
+// result is bit-identical to the plain loop.
 func Axpy(alpha float64, x, dst []float64) []float64 {
 	assertSameLen(x, dst)
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		dst[i] += alpha * x[i]
+		dst[i+1] += alpha * x[i+1]
+		dst[i+2] += alpha * x[i+2]
+		dst[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
 		dst[i] += alpha * x[i]
 	}
 	return dst
