@@ -2,10 +2,13 @@
 //
 //	dpbyz-experiments -exp all            # everything, paper scale
 //	dpbyz-experiments -exp fig2 -smoke    # one figure, reduced scale
+//	dpbyz-experiments -exp spec -spec run.json -seeds 5
 //
 // Experiments: fig2, fig3, fig4 (loss/accuracy grids at b = 50/10/500),
 // table1 (VN-condition thresholds across model sizes), thm1 (error rate vs
-// model dimension) and epssweep (the full version's ε sweep).
+// model dimension), epssweep (the full version's ε sweep) and spec (any
+// JSON run spec — the same file dpbyz-train and the cluster binaries
+// consume — repeated across seeds and aggregated like a grid cell).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 	"syscall"
 
+	"dpbyz"
 	"dpbyz/internal/experiments"
 )
 
@@ -29,7 +33,8 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover")
+		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover|spec")
+		specPath = flag.String("spec", "", "JSON run-spec file for -exp spec: the spec is repeated across -seeds and aggregated like a grid cell")
 		smoke    = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
 		steps    = flag.Int("steps", 0, "override step count (0 = experiment default)")
 		seeds    = flag.Int("seeds", 0, "override seed count (0 = experiment default)")
@@ -181,6 +186,32 @@ func run() error {
 		if err := experiments.WriteEpsilonSweepReport(os.Stdout, points); err != nil {
 			return err
 		}
+	}
+
+	if want("spec") && *specPath != "" {
+		ran++
+		fmt.Fprintln(os.Stderr, "running spec...")
+		s, err := dpbyz.LoadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.SpecCellConfig{Run: *s, Seeds: *seeds, Sched: sched("spec")}
+		if cfg.Seeds == 0 && !*smoke {
+			cfg.Seeds = experiments.PaperSeeds
+		}
+		if *steps > 0 {
+			cfg.Run.Steps = *steps
+		}
+		cell, err := experiments.RunSpecCell(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Spec cell %s (%s)\n", cell.Condition.Label, *specPath)
+		if err := experiments.WriteCellReport(os.Stdout, cell, max(cfg.Seeds, 1)); err != nil {
+			return err
+		}
+	} else if want("spec") && *exp == "spec" {
+		return fmt.Errorf("-exp spec needs -spec <file> (generate one with dpbyz-train -dump-spec)")
 	}
 
 	if ran == 0 {

@@ -1,9 +1,16 @@
-// Command dpbyz-server runs the networked parameter server: it waits for n
-// workers (dpbyz-worker processes), drives the configured number of
-// synchronous rounds aggregating gradients with the chosen GAR, and prints
-// the final model as CSV to stdout.
+// Command dpbyz-server runs the networked parameter server half of a run
+// spec: it waits for the spec's n workers (dpbyz-worker processes sharing
+// the same spec file), drives the configured rounds aggregating gradients
+// with the spec's GAR, and prints the final model as CSV to stdout.
 //
-//	dpbyz-server -addr 127.0.0.1:7001 -gar mda -n 5 -f 1 -dim 69 -steps 200
+// The scenario lives entirely in the spec file; the flags carry only
+// placement — where to listen, which transport, wire limits:
+//
+//	dpbyz-train -gar mda -n 5 -f 1 -steps 200 -dump-spec > run.json
+//	dpbyz-server -spec run.json -addr 127.0.0.1:7001
+//
+// Periodic -checkpoint snapshots let an interrupted training resume with
+// -resume once the workers reconnect.
 package main
 
 import (
@@ -17,8 +24,7 @@ import (
 	"syscall"
 	"time"
 
-	"dpbyz/internal/cluster"
-	"dpbyz/internal/gar"
+	"dpbyz"
 )
 
 func main() {
@@ -30,57 +36,56 @@ func main() {
 
 func run() error {
 	var (
+		specPath  = flag.String("spec", "", "JSON run-spec file (required; generate one with dpbyz-train -dump-spec)")
 		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
 		transport = flag.String("transport", "tcp", "wire transport (tcp; the in-process chan transport is embed/test-only)")
 		maxFrame  = flag.Int("max-frame-mb", 0, "frame size cap in MiB (0 = default 64)")
-		garName   = flag.String("gar", "mda", "aggregation rule")
-		n         = flag.Int("n", 5, "total workers")
-		f         = flag.Int("f", 1, "max Byzantine workers")
-		dim       = flag.Int("dim", 69, "model dimension d")
-		steps     = flag.Int("steps", 200, "synchronous rounds")
-		lr        = flag.Float64("lr", 2, "learning rate")
-		momentum  = flag.Float64("momentum", 0.99, "momentum coefficient")
 		timeout   = flag.Duration("round-timeout", 10*time.Second, "per-round gradient deadline")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable server snapshot to this path")
+		ckptEvery = flag.Int("checkpoint-every", 100, "snapshot every k rounds (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume from a snapshot written via -checkpoint")
 		verbose   = flag.Bool("v", false, "log per-round progress")
 	)
 	flag.Parse()
 
 	if *transport != "tcp" {
 		return fmt.Errorf("unknown transport %q (cross-process deployments are TCP; "+
-			"use cluster.ChanTransport from Go for in-process runs)", *transport)
+			"use dpbyz.ClusterBackend with a chan transport for in-process runs)", *transport)
 	}
-	g, err := gar.New(*garName, *n, *f)
+	if *specPath == "" {
+		return fmt.Errorf("missing -spec (generate one with dpbyz-train -dump-spec)")
+	}
+	s, err := dpbyz.LoadSpec(*specPath)
 	if err != nil {
 		return err
 	}
-	cfg := cluster.ServerConfig{
-		Addr:          *addr,
-		Transport:     cluster.TCPTransport{},
-		MaxFrameBytes: *maxFrame << 20,
-		GAR:           g,
-		Dim:           *dim,
-		Steps:         *steps,
-		LearningRate:  *lr,
-		Momentum:      *momentum,
-		RoundTimeout:  *timeout,
+
+	opts := []dpbyz.Option{
+		dpbyz.WithAddr(*addr),
+		dpbyz.WithTransport(dpbyz.TCPTransport{}),
+		dpbyz.WithMaxFrameBytes(*maxFrame << 20),
+		dpbyz.WithRoundTimeout(*timeout),
 	}
 	if *verbose {
-		cfg.Logf = log.Printf
+		opts = append(opts, dpbyz.WithLogf(log.Printf))
+	} else {
+		fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d workers\n", *addr, s.GAR.N)
 	}
-	srv, err := cluster.NewServer(cfg)
-	if err != nil {
-		return err
+	if *ckptPath != "" {
+		opts = append(opts, dpbyz.WithCheckpointFile(*ckptPath, *ckptEvery))
 	}
-	fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d workers\n", srv.Addr(), *n)
+	if *resume != "" {
+		opts = append(opts, dpbyz.WithResumeFile(*resume))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := srv.Run(ctx)
+	res, err := dpbyz.ServeSpec(ctx, *s, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "done: %d rounds, %d missed gradients\n",
-		res.History.Len(), res.MissedGradients)
+	fmt.Fprintf(os.Stderr, "done: %d rounds, %d missed gradients, %d discarded\n",
+		res.History.Len(), res.Cluster.Missed, res.Cluster.Discarded)
 	for i, w := range res.Params {
 		fmt.Println(strconv.Itoa(i) + "," + strconv.FormatFloat(w, 'g', 17, 64))
 	}

@@ -1,9 +1,16 @@
-// Command dpbyz-train runs a single distributed-SGD training experiment in
-// the paper's parameter-server model and prints the metric trace as CSV.
+// Command dpbyz-train runs a single training experiment described by a
+// serializable run spec and prints the metric trace as CSV.
 //
-// Example (the paper's Fig. 2 "ALIE + DP" cell, seed 1):
+// The scenario comes from one dpbyz.Spec — either a JSON file (-spec) or
+// assembled from the flags — and runs on a chosen backend:
 //
 //	dpbyz-train -gar mda -attack alie -dp -batch 50 -steps 1000 -seed 1
+//	dpbyz-train -spec run.json                     # same, from a file
+//	dpbyz-train -spec run.json -backend cluster    # in-process distributed
+//	dpbyz-train -gar mda -attack alie -dp -dump-spec > run.json
+//
+// The emitted spec file is the same document cmd/dpbyz-server,
+// cmd/dpbyz-worker and cmd/dpbyz-experiments -exp spec consume.
 package main
 
 import (
@@ -27,8 +34,12 @@ func main() {
 
 func run() error {
 	var (
+		specPath = flag.String("spec", "", "JSON run-spec file (overrides the scenario flags)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the run spec as JSON and exit without training")
+		backend  = flag.String("backend", "local", "execution backend: local|cluster (cluster = in-process distributed run over a chan transport)")
+
 		garName   = flag.String("gar", "mda", "aggregation rule (see -list)")
-		attackArg = flag.String("attack", "", "attack name, empty for no attack (see -list)")
+		attackArg = flag.String("attack", "", "attack name, empty for the unattacked averaging baseline (see -list)")
 		workers   = flag.Int("n", 11, "total workers")
 		byz       = flag.Int("f", 5, "max Byzantine workers")
 		steps     = flag.Int("steps", 1000, "SGD steps T")
@@ -40,142 +51,154 @@ func run() error {
 		modelName = flag.String("model", "logistic-mse", "model: logistic-mse|logistic-nll|mlp")
 		hidden    = flag.Int("hidden", 16, "hidden width for -model mlp")
 		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
-		dpOn      = flag.Bool("dp", false, "inject Gaussian DP noise")
+		dpOn      = flag.Bool("dp", false, "inject DP noise (see -mechanism)")
+		mechName  = flag.String("mechanism", "gaussian", "DP mechanism (see -list)")
 		epsilon   = flag.Float64("eps", 0.2, "per-step privacy epsilon")
 		delta     = flag.Float64("delta", 1e-6, "per-step privacy delta")
-		laplace   = flag.Bool("laplace", false, "use the Laplace mechanism instead of Gaussian")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		dsSize    = flag.Int("dataset", 11055, "synthetic dataset size")
 		features  = flag.Int("features", 68, "feature dimension")
 		libsvm    = flag.String("libsvm", "", "optional LIBSVM file to train on instead of synthetic data")
 		accEvery  = flag.Int("acc-every", 50, "measure accuracy every k steps")
+
+		ckptPath  = flag.String("checkpoint", "", "write a resumable run snapshot to this path")
+		ckptEvery = flag.Int("checkpoint-every", 100, "snapshot every k steps (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume from a snapshot written via -checkpoint")
+		jsonl     = flag.String("jsonl", "", "stream per-step metrics as JSON lines to this file (- for stderr)")
+		progress  = flag.Int("progress", 0, "print a progress line every k steps (0 disables)")
 		savePath  = flag.String("save", "", "write the trained model as a JSON checkpoint to this path")
-		list      = flag.Bool("list", false, "list registered GARs and attacks, then exit")
+		list      = flag.Bool("list", false, "list registered GARs, attacks and mechanisms, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("GARs:   ", dpbyz.GARNames())
-		fmt.Println("attacks:", dpbyz.AttackNames())
+		fmt.Println("GARs:      ", dpbyz.GARNames())
+		fmt.Println("attacks:   ", dpbyz.AttackNames())
+		fmt.Println("mechanisms:", dpbyz.MechanismNames())
 		return nil
+	}
+
+	var s dpbyz.Spec
+	if *specPath != "" {
+		loaded, err := dpbyz.LoadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		s = *loaded
+	} else {
+		s = dpbyz.Spec{
+			Data: dpbyz.DataSpec{N: *dsSize, Features: *features},
+			Model: dpbyz.ModelSpec{
+				Name: *modelName, Hidden: mlpHidden(*modelName, *hidden),
+			},
+			Steps:             *steps,
+			BatchSize:         *batch,
+			LearningRate:      *lr,
+			MomentumPostNoise: *postNoise,
+			ClipNorm:          *clip,
+			Seed:              *seed,
+			AccuracyEvery:     *accEvery,
+		}
+		if *libsvm != "" {
+			s.Data = dpbyz.DataSpec{Source: "libsvm", Path: *libsvm, Features: *features}
+		}
+		if *serverMom {
+			s.Momentum = *momentum
+		} else {
+			s.WorkerMomentum = *momentum
+		}
+		if *attackArg == "" {
+			// Unattacked baseline: all workers honest, plain averaging (the
+			// paper's convention for the no-attack cells).
+			s.GAR = dpbyz.GARSpec{Name: "average", N: *workers}
+		} else {
+			s.GAR = dpbyz.GARSpec{Name: *garName, N: *workers, F: *byz}
+			s.Attack = &dpbyz.AttackSpec{Name: *attackArg}
+		}
+		if *dpOn {
+			s.Mechanism = &dpbyz.MechanismSpec{Name: *mechName, Epsilon: *epsilon, Delta: *delta}
+		}
+	}
+	if *dumpSpec {
+		b, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+
+	var opts []dpbyz.Option
+	if *ckptPath != "" {
+		opts = append(opts, dpbyz.WithCheckpointFile(*ckptPath, *ckptEvery))
+	}
+	if *resume != "" {
+		opts = append(opts, dpbyz.WithResumeFile(*resume))
+	}
+	if *jsonl != "" {
+		out := os.Stderr
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return fmt.Errorf("create jsonl file: %w", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		opts = append(opts, dpbyz.WithObserver(dpbyz.NewJSONLSink(out)))
+	}
+	if *progress > 0 {
+		opts = append(opts, dpbyz.WithObserver(dpbyz.NewProgressSink(os.Stderr, *progress)))
+	}
+
+	var be dpbyz.Backend
+	switch *backend {
+	case "local":
+		opts = append(opts, dpbyz.WithParallel())
+		be = &dpbyz.LocalBackend{}
+	case "cluster":
+		be = &dpbyz.ClusterBackend{}
+	default:
+		return fmt.Errorf("unknown backend %q (local|cluster)", *backend)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	var ds *dpbyz.Dataset
-	var err error
-	if *libsvm != "" {
-		f, ferr := os.Open(*libsvm)
-		if ferr != nil {
-			return fmt.Errorf("open libsvm file: %w", ferr)
-		}
-		defer f.Close()
-		ds, err = dpbyz.ParseLIBSVM(f, *features)
-	} else {
-		ds, err = dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{
-			N: *dsSize, Features: *features, Seed: *seed,
-		})
-	}
-	if err != nil {
-		return fmt.Errorf("load dataset: %w", err)
-	}
-	trainN := ds.Len() * 8400 / 11055
-	train, test, err := ds.Split(trainN, dpbyz.NewStream(*seed^0x53504c4954))
-	if err != nil {
-		return fmt.Errorf("split dataset: %w", err)
-	}
-
-	var m dpbyz.Model
-	var initParams []float64
-	switch *modelName {
-	case "logistic-mse":
-		m, err = dpbyz.NewLogisticMSE(ds.Dim())
-	case "logistic-nll":
-		m, err = dpbyz.NewLogisticNLL(ds.Dim())
-	case "mlp":
-		var mlp interface {
-			dpbyz.Model
-			InitParams(func() float64) []float64
-		}
-		mlp, err = dpbyz.NewMLP(ds.Dim(), *hidden)
-		if err == nil {
-			m = mlp
-			initParams = mlp.InitParams(dpbyz.NewStream(*seed ^ 0x4d4c50).Normal)
-		}
-	default:
-		return fmt.Errorf("unknown model %q", *modelName)
-	}
-	if err != nil {
-		return fmt.Errorf("build model: %w", err)
-	}
-	cfg := dpbyz.TrainConfig{
-		Model:             m,
-		Train:             train,
-		Test:              test,
-		Steps:             *steps,
-		BatchSize:         *batch,
-		LearningRate:      *lr,
-		ClipNorm:          *clip,
-		Seed:              *seed,
-		InitParams:        initParams,
-		AccuracyEvery:     *accEvery,
-		MomentumPostNoise: *postNoise,
-		Parallel:          true,
-	}
-	if *serverMom {
-		cfg.Momentum = *momentum
-	} else {
-		cfg.WorkerMomentum = *momentum
-	}
-	if *attackArg == "" {
-		cfg.GAR, err = dpbyz.NewGAR("average", *workers, 0)
-	} else {
-		cfg.GAR, err = dpbyz.NewGAR(*garName, *workers, *byz)
-		if err == nil {
-			cfg.Attack, err = dpbyz.NewAttack(*attackArg)
-		}
-	}
-	if err != nil {
-		return err
-	}
-	if *dpOn {
-		bud := dpbyz.Budget{Epsilon: *epsilon, Delta: *delta}
-		if *laplace {
-			cfg.Mechanism, err = dpbyz.NewLaplaceMechanismForGradient(*clip, *batch, cfg.Model.Dim(), *epsilon)
-		} else {
-			cfg.Mechanism, err = dpbyz.NewGaussianMechanism(*clip, *batch, bud)
-		}
-		if err != nil {
-			return fmt.Errorf("build mechanism: %w", err)
-		}
-		acct, aerr := dpbyz.NewAccountant(bud)
-		if aerr != nil {
-			return aerr
-		}
-		cfg.Accountant = acct
-		defer func() {
-			total := acct.Basic()
-			fmt.Fprintf(os.Stderr, "privacy spend (basic composition): eps=%.3g delta=%.3g over %d releases\n",
-				total.Epsilon, total.Delta, acct.Steps())
-		}()
-	}
-
-	res, err := dpbyz.Train(ctx, cfg)
+	res, err := be.Run(ctx, s, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "final: loss=%.6g acc=%.4f\n",
 		res.History.FinalLoss(), res.History.FinalAccuracy())
+	if res.Cluster != nil {
+		fmt.Fprintf(os.Stderr, "cluster: accepted=%d discarded=%d missed=%d\n",
+			res.Cluster.Accepted, res.Cluster.Discarded, res.Cluster.Missed)
+	}
+	if s.Mechanism != nil && s.Mechanism.Epsilon > 0 && s.Mechanism.Delta > 0 {
+		bud := dpbyz.Budget{Epsilon: s.Mechanism.Epsilon, Delta: s.Mechanism.Delta}
+		if total, err := dpbyz.BasicComposition(bud, s.Steps); err == nil {
+			fmt.Fprintf(os.Stderr,
+				"per-worker privacy spend (basic composition over %d releases): eps=%.3g delta=%.3g\n",
+				s.Steps, total.Epsilon, total.Delta)
+		}
+	}
 	if *savePath != "" {
-		note := fmt.Sprintf("gar=%s attack=%s dp=%v eps=%g", *garName, *attackArg, *dpOn, *epsilon)
+		name := s.Model.Name
+		if name == "" {
+			name = "logistic-mse"
+		}
+		feat := s.Data.Features
+		if feat == 0 {
+			feat = 68
+		}
+		note := fmt.Sprintf("spec=%s gar=%s backend=%s", s.Name, s.GAR.Name, res.Backend)
 		err := checkpoint.Save(*savePath, &checkpoint.Checkpoint{
-			Model:        *modelName,
-			Features:     ds.Dim(),
-			Hidden:       mlpHidden(*modelName, *hidden),
+			Model:        name,
+			Features:     feat,
+			Hidden:       s.Model.Hidden,
 			Params:       res.Params,
-			StepsTrained: *steps,
-			Seed:         *seed,
+			StepsTrained: s.Steps,
+			Seed:         s.Seed,
 			Note:         note,
 		})
 		if err != nil {

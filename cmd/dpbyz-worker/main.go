@@ -1,9 +1,14 @@
-// Command dpbyz-worker joins a dpbyz-server as one worker: it samples local
-// batches, computes clipped (optionally DP-noised) gradients and submits
-// them each round. With -attack it behaves Byzantine.
+// Command dpbyz-worker joins a dpbyz-server as one worker of a shared run
+// spec: it samples local batches, computes clipped (optionally DP-noised)
+// gradients and submits them each round. Whether this worker is Byzantine
+// follows from the spec — workers with -id below the spec's gar.f run the
+// spec's attack, exactly like the other backends.
 //
-//	dpbyz-worker -addr 127.0.0.1:7001 -id 0 -batch 50 -dp
-//	dpbyz-worker -addr 127.0.0.1:7001 -id 4 -attack signflip
+//	dpbyz-worker -spec run.json -addr 127.0.0.1:7001 -id 0
+//
+// The scenario lives entirely in the spec file; the flags carry only
+// placement (server address, transport, wire limits) and this process's
+// worker identity.
 package main
 
 import (
@@ -14,11 +19,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"dpbyz/internal/attack"
-	"dpbyz/internal/cluster"
-	"dpbyz/internal/data"
-	"dpbyz/internal/dp"
-	"dpbyz/internal/model"
+	"dpbyz"
 )
 
 func main() {
@@ -30,81 +31,33 @@ func main() {
 
 func run() error {
 	var (
+		specPath  = flag.String("spec", "", "JSON run-spec file (required; must match the server's)")
 		addr      = flag.String("addr", "127.0.0.1:7001", "server address")
 		transport = flag.String("transport", "tcp", "wire transport (tcp; the in-process chan transport is embed/test-only)")
 		maxFrame  = flag.Int("max-frame-mb", 0, "frame size cap in MiB (0 = default 64)")
 		id        = flag.Int("id", 0, "worker id in [0, n)")
-		batch     = flag.Int("batch", 50, "batch size b")
-		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
-		dpOn      = flag.Bool("dp", false, "inject Gaussian DP noise")
-		epsilon   = flag.Float64("eps", 0.2, "per-step epsilon")
-		delta     = flag.Float64("delta", 1e-6, "per-step delta")
-		attackArg = flag.String("attack", "", "behave Byzantine with this attack")
-		seed      = flag.Uint64("seed", 0, "random seed (default: worker id + 1)")
-		dsSize    = flag.Int("dataset", 11055, "synthetic local dataset size")
-		features  = flag.Int("features", 68, "feature dimension")
-		libsvm    = flag.String("libsvm", "", "optional LIBSVM file for local data")
 	)
 	flag.Parse()
 
 	if *transport != "tcp" {
 		return fmt.Errorf("unknown transport %q (cross-process deployments are TCP; "+
-			"use cluster.ChanTransport from Go for in-process runs)", *transport)
+			"use dpbyz.ClusterBackend with a chan transport for in-process runs)", *transport)
 	}
-	if *seed == 0 {
-		*seed = uint64(*id + 1)
+	if *specPath == "" {
+		return fmt.Errorf("missing -spec (generate one with dpbyz-train -dump-spec)")
 	}
-	var ds *data.Dataset
-	var err error
-	if *libsvm != "" {
-		file, ferr := os.Open(*libsvm)
-		if ferr != nil {
-			return fmt.Errorf("open libsvm file: %w", ferr)
-		}
-		defer file.Close()
-		ds, err = data.ParseLIBSVM(file, *features)
-	} else {
-		ds, err = data.SyntheticPhishing(data.SyntheticPhishingConfig{
-			N: *dsSize, Features: *features, Seed: *seed,
-		})
-	}
-	if err != nil {
-		return fmt.Errorf("load dataset: %w", err)
-	}
-	m, err := model.NewLogisticMSE(ds.Dim())
+	s, err := dpbyz.LoadSpec(*specPath)
 	if err != nil {
 		return err
 	}
 
-	cfg := cluster.WorkerConfig{
-		Addr:          *addr,
-		Transport:     cluster.TCPTransport{},
-		MaxFrameBytes: *maxFrame << 20,
-		WorkerID:      *id,
-		Model:         m,
-		Train:         ds,
-		BatchSize:     *batch,
-		ClipNorm:      *clip,
-		Seed:          *seed,
-	}
-	if *dpOn {
-		mech, merr := dp.NewGaussian(*clip, *batch, dp.Budget{Epsilon: *epsilon, Delta: *delta})
-		if merr != nil {
-			return merr
-		}
-		cfg.Mechanism = mech
-	}
-	if *attackArg != "" {
-		atk, aerr := attack.New(*attackArg)
-		if aerr != nil {
-			return aerr
-		}
-		cfg.Attack = atk
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := cluster.RunWorker(ctx, cfg)
+	res, err := dpbyz.JoinSpec(ctx, *s, *id,
+		dpbyz.WithAddr(*addr),
+		dpbyz.WithTransport(dpbyz.TCPTransport{}),
+		dpbyz.WithMaxFrameBytes(*maxFrame<<20),
+	)
 	if err != nil {
 		return err
 	}

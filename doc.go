@@ -21,19 +21,55 @@
 // # Quick start
 //
 // The module path is "dpbyz" (see go.mod); import the facade as
-// `import "dpbyz"` from inside this module, then:
+// `import "dpbyz"` from inside this module. One serializable Spec describes
+// a whole run — every component referenced by registry name, never by live
+// object — and a Backend executes it:
 //
-//	ds, _ := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{Seed: 1})
-//	train, test, _ := ds.Split(8400, dpbyz.NewStream(1))
-//	m, _ := dpbyz.NewLogisticMSE(ds.Dim())
-//	g, _ := dpbyz.NewGAR("mda", 11, 5)
-//	atk, _ := dpbyz.NewAttack("alie")
-//	mech, _ := dpbyz.NewGaussianMechanism(0.01, 50, dpbyz.Budget{Epsilon: 0.2, Delta: 1e-6})
-//	res, err := dpbyz.Train(context.Background(), dpbyz.TrainConfig{
-//		Model: m, Train: train, Test: test, GAR: g, Attack: atk, Mechanism: mech,
-//		Steps: 1000, BatchSize: 50, LearningRate: 2, Momentum: 0.99,
-//		ClipNorm: 0.01, Seed: 1, AccuracyEvery: 50,
-//	})
+//	s := dpbyz.Spec{
+//		GAR:            dpbyz.GARSpec{Name: "mda", N: 11, F: 5},
+//		Attack:         &dpbyz.AttackSpec{Name: "alie"},
+//		Mechanism:      &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.2, Delta: 1e-6},
+//		Steps:          1000,
+//		BatchSize:      50,
+//		LearningRate:   2,
+//		WorkerMomentum: 0.99,
+//		ClipNorm:       0.01,
+//		Seed:           1,
+//		AccuracyEvery:  50,
+//	}
+//	res, err := dpbyz.Run(context.Background(), s) // in-process simulator
+//
+// The zero Data field defaults to the paper's synthetic phishing stand-in
+// with its 8400-point train split. Because the Spec is plain data, it
+// round-trips through JSON (dpbyz.LoadSpec / Spec.Save — unknown fields are
+// rejected and the document carries a version tag) and the same document
+// runs unchanged on every backend:
+//
+//	local, _ := (&dpbyz.LocalBackend{}).Run(ctx, s)    // one process, paper figures
+//	dist, _ := (&dpbyz.ClusterBackend{}).Run(ctx, s)   // server + 11 workers over an
+//	                                                   // in-process ChanTransport
+//
+// or on a real network: cmd/dpbyz-server and cmd/dpbyz-worker consume the
+// same JSON file (dpbyz.ServeSpec / dpbyz.JoinSpec), adding only placement
+// flags — address, transport — that are deliberately not part of the Spec.
+//
+// Runtime concerns attach as functional options: WithObserver streams
+// per-step metrics (JSONL, progress, or an in-memory History sink; with no
+// observer installed the local hot path stays zero-allocation),
+// WithCheckpointFile snapshots resumable state every k steps, and
+// WithResumeFile continues an interrupted run — on the local backend the
+// resumed trajectory is bit-identical to the uninterrupted one.
+//
+// # Migrating from Train
+//
+// The pre-Spec entry point Train(ctx, TrainConfig) still works but is
+// deprecated: TrainConfig holds live objects, so it can only ever drive the
+// in-process simulator. The mapping is mechanical — each constructor call
+// becomes a registry reference (NewGAR("mda", 11, 5) → GARSpec{Name: "mda",
+// N: 11, F: 5}; NewGaussianMechanism(gmax, b, budget) → MechanismSpec plus
+// the Spec's ClipNorm/BatchSize; datasets and models by name in
+// DataSpec/ModelSpec) — and Train's remaining knobs keep their names on
+// Spec. The shim will be removed one release after this one.
 //
 // # Running the experiments and benchmarks
 //

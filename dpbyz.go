@@ -147,6 +147,13 @@ func NewStream(seed uint64) *Stream { return randx.New(seed) }
 
 // Train runs distributed SGD in the parameter-server model per the supplied
 // configuration and returns the final parameters and metric history.
+//
+// Deprecated: Train predates the serializable Spec API and requires live
+// objects (Model, GAR, Attack, Mechanism) that cannot move between
+// execution backends. Build a Spec (registry names + parameters) and run it
+// with Run, LocalBackend or ClusterBackend instead; this shim remains for
+// one release to ease migration and simply forwards to the simulator the
+// LocalBackend wraps.
 func Train(ctx context.Context, cfg TrainConfig) (*TrainResult, error) {
 	return simulate.Run(ctx, cfg)
 }

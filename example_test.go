@@ -8,44 +8,56 @@ import (
 	"dpbyz"
 )
 
-// ExampleTrain runs a miniature version of the paper's Fig. 2 "ALIE + DP"
-// cell: 7 workers, 2 Byzantine, MDA aggregation, Gaussian DP noise.
-func ExampleTrain() {
-	ds, err := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{N: 600, Features: 10, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+// ExampleRun runs a miniature version of the paper's Fig. 2 "ALIE + DP"
+// cell: 7 workers, 2 Byzantine, MDA aggregation, Gaussian DP noise — all
+// referenced by name in one serializable Spec, executed on the in-process
+// backend.
+func ExampleRun() {
+	s := dpbyz.Spec{
+		Data:           dpbyz.DataSpec{N: 600, Features: 10, TrainN: 450},
+		GAR:            dpbyz.GARSpec{Name: "mda", N: 7, F: 2},
+		Attack:         &dpbyz.AttackSpec{Name: "alie"},
+		Mechanism:      &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
+		Steps:          60,
+		BatchSize:      20,
+		LearningRate:   2,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           1,
 	}
-	train, test, err := ds.Split(450, dpbyz.NewStream(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := dpbyz.NewLogisticMSE(10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := dpbyz.NewGAR("mda", 7, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	atk, err := dpbyz.NewAttack("alie")
-	if err != nil {
-		log.Fatal(err)
-	}
-	mech, err := dpbyz.NewGaussianMechanism(0.01, 20, dpbyz.Budget{Epsilon: 0.5, Delta: 1e-6})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := dpbyz.Train(context.Background(), dpbyz.TrainConfig{
-		Model: m, Train: train, Test: test,
-		GAR: g, Attack: atk, Mechanism: mech,
-		Steps: 60, BatchSize: 20, LearningRate: 2,
-		WorkerMomentum: 0.99, ClipNorm: 0.01, Seed: 1,
-	})
+	res, err := dpbyz.Run(context.Background(), s)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("steps recorded:", res.History.Len())
 	// Output: steps recorded: 60
+}
+
+// ExampleSpec_json shows the serialized form of a Spec: the same JSON that
+// drives cmd/dpbyz-train, cmd/dpbyz-server/-worker and the experiment
+// grids, with a version tag and strict unknown-field rejection on decode.
+func ExampleSpec_json() {
+	s := dpbyz.Spec{
+		GAR:          dpbyz.GARSpec{Name: "trimmedmean", N: 5, F: 1},
+		Steps:        10,
+		BatchSize:    20,
+		LearningRate: 2,
+		Seed:         1,
+	}
+	b, err := s.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	round, err := dpbyz.ParseSpec(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round-trip gar:", round.GAR.Name)
+	_, err = dpbyz.ParseSpec([]byte(`{"version": 1, "gar": {"name": "mda", "n": 5, "f": 1}, "stepz": 10}`))
+	fmt.Println("unknown field rejected:", err != nil)
+	// Output:
+	// round-trip gar: trimmedmean
+	// unknown field rejected: true
 }
 
 // ExampleTable1 evaluates the paper's Table-1 necessary conditions at

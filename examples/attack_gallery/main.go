@@ -1,6 +1,9 @@
 // Attack gallery: every Byzantine-resilient GAR versus every attack, with
 // and without DP noise, on a small task. The output matrix shows which
 // rule survives which attack — and how DP noise erodes all of them.
+//
+// Each matrix cell is one serializable dpbyz.Spec differing only in its
+// GAR/Attack/Mechanism references, run on the in-process backend.
 package main
 
 import (
@@ -25,19 +28,15 @@ func main() {
 }
 
 func run() error {
-	ds, err := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{
-		N: 3000, Features: 20, Seed: 7,
-	})
-	if err != nil {
-		return err
-	}
-	train, test, err := ds.Split(2400, dpbyz.NewStream(7))
-	if err != nil {
-		return err
-	}
-	m, err := dpbyz.NewLogisticMSE(ds.Dim())
-	if err != nil {
-		return err
+	base := dpbyz.Spec{
+		Data:           dpbyz.DataSpec{N: 3000, Features: 20, Seed: 7, TrainN: 2400},
+		Steps:          steps,
+		BatchSize:      batch,
+		LearningRate:   2,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           1,
+		AccuracyEvery:  steps - 1,
 	}
 
 	attacks := []string{"alie", "foe", "signflip", "randomnoise", "zero"}
@@ -53,41 +52,19 @@ func run() error {
 		fmt.Println()
 
 		for _, garName := range dpbyz.ResilientGARNames() {
-			g, err := dpbyz.NewGAR(garName, workers, byzantine)
-			if err != nil {
+			if _, err := dpbyz.NewGAR(garName, workers, byzantine); err != nil {
 				// Rule's (n, f) constraint not met; skip.
 				continue
 			}
 			fmt.Printf("%-12s", garName)
 			for _, attackName := range attacks {
-				atk, err := dpbyz.NewAttack(attackName)
-				if err != nil {
-					return err
-				}
-				cfg := dpbyz.TrainConfig{
-					Model:          m,
-					Train:          train,
-					Test:           test,
-					GAR:            g,
-					Attack:         atk,
-					Steps:          steps,
-					BatchSize:      batch,
-					LearningRate:   2,
-					WorkerMomentum: 0.99,
-					ClipNorm:       0.01,
-					Seed:           1,
-					AccuracyEvery:  steps - 1,
-					Parallel:       true,
-				}
+				s := base
+				s.GAR = dpbyz.GARSpec{Name: garName, N: workers, F: byzantine}
+				s.Attack = &dpbyz.AttackSpec{Name: attackName}
 				if withDP {
-					mech, err := dpbyz.NewGaussianMechanism(cfg.ClipNorm, batch,
-						dpbyz.Budget{Epsilon: 0.2, Delta: 1e-6})
-					if err != nil {
-						return err
-					}
-					cfg.Mechanism = mech
+					s.Mechanism = &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.2, Delta: 1e-6}
 				}
-				res, err := dpbyz.Train(context.Background(), cfg)
+				res, err := dpbyz.Run(context.Background(), s, dpbyz.WithParallel())
 				if err != nil {
 					return err
 				}

@@ -46,6 +46,9 @@ func run() error {
 }
 
 func finalError(dim int, withDP bool) (float64, error) {
+	// Theorem 1's data distribution is not a named Spec source (its random
+	// center is needed below to measure suboptimality), so the dataset is
+	// built here and injected into the run with WithDatasets.
 	ds, center, err := dpbyz.GaussianMean(dpbyz.GaussianMeanConfig{
 		N: 4000, Dim: dim, Sigma: sigma, Seed: 1,
 	})
@@ -56,29 +59,20 @@ func finalError(dim int, withDP bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	g, err := dpbyz.NewGAR("average", workers, 0)
-	if err != nil {
-		return 0, err
-	}
-	cfg := dpbyz.TrainConfig{
-		Model:        m,
-		Train:        ds,
-		GAR:          g,
+	s := dpbyz.Spec{
+		Model:        dpbyz.ModelSpec{Name: "mean-estimation"},
+		GAR:          dpbyz.GARSpec{Name: "average", N: workers},
 		Steps:        steps,
 		BatchSize:    batch,
 		LearningRate: 0.05,
 		ClipNorm:     gmax,
 		Seed:         1,
-		Parallel:     true,
 	}
 	if withDP {
-		mech, merr := dpbyz.NewGaussianMechanism(gmax, batch, dpbyz.Budget{Epsilon: 0.2, Delta: 1e-6})
-		if merr != nil {
-			return 0, merr
-		}
-		cfg.Mechanism = mech
+		s.Mechanism = &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.2, Delta: 1e-6}
 	}
-	res, err := dpbyz.Train(context.Background(), cfg)
+	res, err := dpbyz.Run(context.Background(), s,
+		dpbyz.WithDatasets(ds, nil), dpbyz.WithParallel())
 	if err != nil {
 		return 0, err
 	}

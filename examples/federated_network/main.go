@@ -2,22 +2,21 @@
 // goroutines (one Byzantine, all DP-noised) training over localhost — the
 // paper's Fig. 1(b) deployment end to end, with gradients travelling over
 // actual sockets.
+//
+// The whole deployment is one serializable dpbyz.Spec executed by the
+// ClusterBackend over a TCP transport. Swap the WithTransport option for a
+// dpbyz.NewChanTransport() and the identical run stays in-process; drop the
+// backend for dpbyz.Run and it executes on the simulator — the Spec never
+// changes.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"dpbyz"
-	"dpbyz/internal/attack"
-	"dpbyz/internal/cluster"
-	"dpbyz/internal/data"
-	"dpbyz/internal/dp"
-	"dpbyz/internal/gar"
-	"dpbyz/internal/model"
 )
 
 const (
@@ -35,76 +34,35 @@ func main() {
 }
 
 func run() error {
-	m, err := model.NewLogisticMSE(16)
-	if err != nil {
-		return err
-	}
-	g, err := gar.NewMDA(workers, byzantine)
-	if err != nil {
-		return err
-	}
-	srv, err := cluster.NewServer(cluster.ServerConfig{
-		Addr:         "127.0.0.1:0",
-		GAR:          g,
-		Dim:          m.Dim(),
+	s := dpbyz.Spec{
+		Name:         "federated-network",
+		Data:         dpbyz.DataSpec{N: 1500, Features: 16, Seed: 100},
+		GAR:          dpbyz.GARSpec{Name: "mda", N: workers, F: byzantine},
+		Attack:       &dpbyz.AttackSpec{Name: "signflip"},
+		Mechanism:    &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
 		Steps:        steps,
+		BatchSize:    batch,
 		LearningRate: 2,
-		Momentum:     0.9,
-		RoundTimeout: 5 * time.Second,
-	})
-	if err != nil {
-		return err
+		Momentum:     0.9, // server-side momentum, applied by the parameter server
+		ClipNorm:     gmax,
+		Seed:         1,
 	}
-	fmt.Println("parameter server listening on", srv.Addr())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			// Each worker holds its own local shard (non-IID by seed).
-			shard, err := data.SyntheticPhishing(data.SyntheticPhishingConfig{
-				N: 1500, Features: 16, Seed: uint64(100 + id),
-			})
-			if err != nil {
-				log.Printf("worker %d: %v", id, err)
-				return
-			}
-			mech, err := dp.NewGaussian(gmax, batch, dp.Budget{Epsilon: 0.5, Delta: 1e-6})
-			if err != nil {
-				log.Printf("worker %d: %v", id, err)
-				return
-			}
-			cfg := cluster.WorkerConfig{
-				Addr:      srv.Addr(),
-				WorkerID:  id,
-				Model:     m,
-				Train:     shard,
-				BatchSize: batch,
-				ClipNorm:  gmax,
-				Mechanism: mech,
-				Seed:      uint64(id + 1),
-			}
-			if id == 0 {
-				cfg.Attack = attack.NewSignFlip()
-				fmt.Println("worker 0 is Byzantine (sign flip)")
-			}
-			res, err := cluster.RunWorker(ctx, cfg)
-			if err != nil {
-				log.Printf("worker %d: %v", id, err)
-				return
-			}
-			fmt.Printf("worker %d completed %d rounds\n", id, res.Rounds)
-		}(i)
-	}
-
-	res, err := srv.Run(ctx)
-	wg.Wait()
+	fmt.Printf("spec: %d workers (%d Byzantine, sign flip), DP eps=0.5, TCP transport\n",
+		workers, byzantine)
+	res, err := (&dpbyz.ClusterBackend{}).Run(ctx, s,
+		dpbyz.WithTransport(dpbyz.TCPTransport{}),
+		dpbyz.WithAddr("127.0.0.1:0"),
+		dpbyz.WithRoundTimeout(5*time.Second),
+	)
 	if err != nil {
 		return err
+	}
+	for id, rounds := range res.Cluster.WorkerRounds {
+		fmt.Printf("worker %d completed %d rounds\n", id, rounds)
 	}
 
 	// Evaluate the final model on fresh data.
@@ -114,8 +72,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	m, err := dpbyz.NewLogisticMSE(16)
+	if err != nil {
+		return err
+	}
 	acc := dpbyz.Accuracy(m, res.Params, eval)
-	fmt.Printf("training finished: %d rounds, %d missed gradients, eval accuracy %.4f\n",
-		res.History.Len(), res.MissedGradients, acc)
+	fmt.Printf("training finished: %d rounds, %d missed, %d discarded, eval accuracy %.4f\n",
+		res.History.Len(), res.Cluster.Missed, res.Cluster.Discarded, acc)
 	return nil
 }

@@ -3,10 +3,15 @@
 // Enough" attack, aggregated with MDA — first without, then with DP noise.
 // The run reproduces in miniature the paper's headline observation: each
 // defence works alone, but combining them hurts.
+//
+// Each condition is one serializable dpbyz.Spec — the same object a JSON
+// file, the cluster binaries and the experiment grids consume — executed
+// here on the in-process LocalBackend.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,33 +25,19 @@ func main() {
 }
 
 func run() error {
-	// The offline stand-in for the paper's phishing dataset: 11 055 points,
-	// 68 features, split 8 400 / 2 655 like §5.1.
-	ds, err := dpbyz.SyntheticPhishing(dpbyz.SyntheticPhishingConfig{Seed: 1})
-	if err != nil {
-		return err
-	}
-	train, test, err := ds.Split(8400, dpbyz.NewStream(1))
-	if err != nil {
-		return err
-	}
-	m, err := dpbyz.NewLogisticMSE(ds.Dim())
-	if err != nil {
-		return err
-	}
+	steps := flag.Int("steps", 300, "SGD steps per condition")
+	flag.Parse()
 
-	base := dpbyz.TrainConfig{
-		Model:          m,
-		Train:          train,
-		Test:           test,
-		Steps:          300,
+	// The offline stand-in for the paper's phishing dataset: 11 055 points,
+	// 68 features, split 8 400 / 2 655 like §5.1 — the Spec's Data defaults.
+	base := dpbyz.Spec{
+		Steps:          *steps,
 		BatchSize:      50,
 		LearningRate:   2,
 		WorkerMomentum: 0.99, // the paper applies momentum at the workers
 		ClipNorm:       0.01,
 		Seed:           1,
 		AccuracyEvery:  50,
-		Parallel:       true,
 	}
 
 	for _, setting := range []struct {
@@ -59,34 +50,17 @@ func run() error {
 		{label: "honest, DP eps=0.2", attack: false, dp: true},
 		{label: "ALIE attack + DP eps=0.2", attack: true, dp: true},
 	} {
-		cfg := base
+		s := base
 		if setting.attack {
-			g, err := dpbyz.NewGAR("mda", 11, 5)
-			if err != nil {
-				return err
-			}
-			cfg.GAR = g
-			atk, err := dpbyz.NewAttack("alie")
-			if err != nil {
-				return err
-			}
-			cfg.Attack = atk
+			s.GAR = dpbyz.GARSpec{Name: "mda", N: 11, F: 5}
+			s.Attack = &dpbyz.AttackSpec{Name: "alie"}
 		} else {
-			g, err := dpbyz.NewGAR("average", 11, 0)
-			if err != nil {
-				return err
-			}
-			cfg.GAR = g
+			s.GAR = dpbyz.GARSpec{Name: "average", N: 11}
 		}
 		if setting.dp {
-			mech, err := dpbyz.NewGaussianMechanism(cfg.ClipNorm, cfg.BatchSize,
-				dpbyz.Budget{Epsilon: 0.2, Delta: 1e-6})
-			if err != nil {
-				return err
-			}
-			cfg.Mechanism = mech
+			s.Mechanism = &dpbyz.MechanismSpec{Name: "gaussian", Epsilon: 0.2, Delta: 1e-6}
 		}
-		res, err := dpbyz.Train(context.Background(), cfg)
+		res, err := dpbyz.Run(context.Background(), s, dpbyz.WithParallel())
 		if err != nil {
 			return err
 		}

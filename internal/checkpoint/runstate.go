@@ -1,0 +1,173 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"dpbyz/internal/randx"
+)
+
+// RunStateVersion identifies the mid-run snapshot schema; bump on breaking
+// change.
+const RunStateVersion = 1
+
+// WorkerRunState is one simulated worker's resumable state: its two
+// randomness streams and (when worker momentum is enabled) the momentum
+// buffer. Restoring all three makes the worker's future submissions
+// bit-identical to the uninterrupted run's.
+type WorkerRunState struct {
+	// Batch is the batch-sampling stream position.
+	Batch randx.StreamState `json:"batch"`
+	// Noise is the DP-noise stream position.
+	Noise randx.StreamState `json:"noise"`
+	// Momentum is the worker-side momentum buffer (absent when disabled).
+	Momentum []float64 `json:"momentum,omitempty"`
+}
+
+// RunState is a mid-run training snapshot taken at a step boundary: enough
+// state to resume the run and produce bit-identical results (for the
+// in-process backend, whose execution is a pure function of this state) or
+// to continue server-side training from the captured parameters (for the
+// networked backend, whose workers hold their own state).
+type RunState struct {
+	// Version is the schema version (RunStateVersion at write time).
+	Version int `json:"version"`
+	// Backend records which backend wrote the snapshot ("local"/"cluster").
+	Backend string `json:"backend,omitempty"`
+	// Spec is the serialized run spec this snapshot belongs to, kept verbatim
+	// so resume can verify it is continuing the same scenario.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Step is the number of completed steps; the resumed run starts here.
+	Step int `json:"step"`
+	// Params is the parameter vector w after Step steps.
+	Params []float64 `json:"params"`
+	// Velocity is the server-side momentum buffer.
+	Velocity []float64 `json:"velocity,omitempty"`
+	// AttackRng is the shared attack stream position (local backend only).
+	AttackRng *randx.StreamState `json:"attackRng,omitempty"`
+	// Workers holds the per-worker resumable state (local backend only; the
+	// networked backend's workers own their state in their own processes).
+	Workers []WorkerRunState `json:"workers,omitempty"`
+}
+
+// Run-state validation errors.
+var (
+	ErrBadRunStateVersion = errors.New("checkpoint: unsupported run-state version")
+	ErrBadStep            = errors.New("checkpoint: negative step")
+)
+
+// Validate checks structural invariants after decode.
+func (s *RunState) Validate() error {
+	if s.Version != RunStateVersion {
+		return fmt.Errorf("%w: %d", ErrBadRunStateVersion, s.Version)
+	}
+	if s.Step < 0 {
+		return fmt.Errorf("%w: %d", ErrBadStep, s.Step)
+	}
+	if len(s.Params) == 0 {
+		return ErrEmpty
+	}
+	if s.Velocity != nil && len(s.Velocity) != len(s.Params) {
+		return fmt.Errorf("checkpoint: velocity dim %d, params dim %d",
+			len(s.Velocity), len(s.Params))
+	}
+	for i, w := range s.Workers {
+		if w.Momentum != nil && len(w.Momentum) != len(s.Params) {
+			return fmt.Errorf("checkpoint: worker %d momentum dim %d, params dim %d",
+				i, len(w.Momentum), len(s.Params))
+		}
+	}
+	return nil
+}
+
+// CheckSpec verifies the snapshot belongs to the given backend and spec
+// document, so a resume cannot silently continue a different scenario.
+// Either side may be absent (empty), in which case that check is skipped;
+// spec documents are compared structurally (whitespace-insensitive).
+func (s *RunState) CheckSpec(backend string, specJSON []byte) error {
+	if s.Backend != "" && backend != "" && s.Backend != backend {
+		return fmt.Errorf("checkpoint: snapshot written by backend %q, resuming on %q",
+			s.Backend, backend)
+	}
+	if len(s.Spec) > 0 && len(specJSON) > 0 && !jsonEqual(s.Spec, specJSON) {
+		return errors.New("checkpoint: snapshot belongs to a different spec")
+	}
+	return nil
+}
+
+// jsonEqual compares two JSON documents ignoring formatting.
+func jsonEqual(a, b []byte) bool {
+	var ca, cb bytes.Buffer
+	if err := json.Compact(&ca, a); err != nil {
+		return false
+	}
+	if err := json.Compact(&cb, b); err != nil {
+		return false
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}
+
+// WriteRunState encodes the snapshot as indented JSON.
+func WriteRunState(w io.Writer, s *RunState) error {
+	s.Version = RunStateVersion
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encode run state: %w", err)
+	}
+	return nil
+}
+
+// ReadRunState decodes and validates a snapshot.
+func ReadRunState(r io.Reader) (*RunState, error) {
+	var s RunState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode run state: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SaveRunState writes the snapshot to path atomically: it lands in a
+// temporary file first and renames into place, so an interrupted save never
+// leaves a truncated snapshot where a resumable one used to be.
+func SaveRunState(path string, s *RunState) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
+	}
+	if err := WriteRunState(f, s); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadRunState reads a snapshot from path.
+func LoadRunState(path string) (*RunState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadRunState(f)
+}

@@ -53,6 +53,29 @@ type ServerConfig struct {
 	RoundTimeout time.Duration
 	// Logf, when non-nil, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
+
+	// StartStep, when positive, resumes a previous run: the first broadcast
+	// carries this step number and only Steps−StartStep rounds execute. Pair
+	// it with InitParams (and InitVelocity) captured by a snapshot.
+	StartStep int
+	// InitVelocity optionally restores the server-side momentum buffer when
+	// resuming (defaults to the zero vector).
+	InitVelocity []float64
+	// StepHook, when non-nil, is invoked after every completed round with
+	// the round's metric record and a read-only view of the current
+	// parameter vector (valid only during the call). A non-nil error aborts
+	// the run.
+	StepHook func(rec metrics.StepRecord, params []float64) error
+	// SnapshotEvery, when positive together with SnapshotFunc, captures the
+	// server's resumable state every k completed rounds (and after the final
+	// round). Cluster snapshots carry only server-side state — parameters,
+	// velocity, completed step count — because worker state lives in the
+	// worker processes.
+	SnapshotEvery int
+	// SnapshotFunc receives each periodic snapshot; a non-nil error aborts
+	// the run. The slices are the server's live buffers, valid only during
+	// the call — implementations that persist them must copy.
+	SnapshotFunc func(step int, params, velocity []float64) error
 }
 
 func (c *ServerConfig) validate() error {
@@ -73,6 +96,12 @@ func (c *ServerConfig) validate() error {
 	}
 	if c.InitParams != nil && len(c.InitParams) != c.Dim {
 		return fmt.Errorf("cluster: init params dim %d, want %d", len(c.InitParams), c.Dim)
+	}
+	if c.InitVelocity != nil && len(c.InitVelocity) != c.Dim {
+		return fmt.Errorf("cluster: init velocity dim %d, want %d", len(c.InitVelocity), c.Dim)
+	}
+	if c.StartStep < 0 || c.StartStep >= c.Steps {
+		return fmt.Errorf("cluster: start step %d outside [0, %d)", c.StartStep, c.Steps)
 	}
 	if err := validateMaxFrame(c.MaxFrameBytes, c.Dim); err != nil {
 		return err
@@ -109,7 +138,7 @@ type ServerResult struct {
 	History *metrics.History
 	// MissedGradients counts (worker, round) pairs that timed out and were
 	// replaced by zero vectors. AcceptedGradients + MissedGradients equals
-	// exactly N×Steps for a completed run.
+	// exactly N×(Steps−StartStep) for a completed run.
 	MissedGradients int
 	// AcceptedGradients counts submissions that entered aggregation.
 	AcceptedGradients int
@@ -269,6 +298,9 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		copy(w, s.cfg.InitParams)
 	}
 	velocity := make([]float64, s.cfg.Dim)
+	if s.cfg.InitVelocity != nil {
+		copy(velocity, s.cfg.InitVelocity)
+	}
 	history := &metrics.History{}
 	missed, accepted := 0, 0
 	submissions := make([][]float64, n)
@@ -300,7 +332,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		}
 	}
 
-	for step := 0; step < s.cfg.Steps; step++ {
+	for step := s.cfg.StartStep; step < s.cfg.Steps; step++ {
 		select {
 		case <-ctx.Done():
 			finish(w)
@@ -371,12 +403,26 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			finish(w)
 			return nil, fmt.Errorf("cluster: parameters diverged at round %d", step)
 		}
-		history.Append(metrics.StepRecord{
+		rec := metrics.StepRecord{
 			Step:     step,
 			Loss:     vecmath.Norm(agg), // server-side proxy: aggregate norm
 			Accuracy: math.NaN(),
 			VNRatio:  math.NaN(),
-		})
+		}
+		history.Append(rec)
+		if s.cfg.StepHook != nil {
+			if err := s.cfg.StepHook(rec, w); err != nil {
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d hook: %w", step, err)
+			}
+		}
+		if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotFunc != nil &&
+			((step+1)%s.cfg.SnapshotEvery == 0 || step == s.cfg.Steps-1) {
+			if err := s.cfg.SnapshotFunc(step+1, w, velocity); err != nil {
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d snapshot: %w", step, err)
+			}
+		}
 	}
 
 	finish(w)

@@ -159,3 +159,11 @@ func (b *Batcher) BatchSqNorms() []float64 { return b.norms }
 
 // BatchSize returns the (possibly capped) batch size.
 func (b *Batcher) BatchSize() int { return len(b.idx) }
+
+// RNGState snapshots the batcher's sampling-stream position, for resumable
+// training checkpoints. Restoring it with SetRNGState makes future batch
+// draws bit-identical to this batcher's.
+func (b *Batcher) RNGState() randx.StreamState { return b.rng.State() }
+
+// SetRNGState rewinds the sampling stream to a snapshot taken by RNGState.
+func (b *Batcher) SetRNGState(st randx.StreamState) { b.rng.SetState(st) }

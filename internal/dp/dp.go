@@ -171,6 +171,15 @@ func NewLaplace(sens1 float64, epsilon float64) (*Laplace, error) {
 	return &Laplace{scale: sens1 / epsilon}, nil
 }
 
+// NewLaplaceWithScale returns a Laplace mechanism with an explicit scale
+// parameter, for analyses that sweep the noise level directly.
+func NewLaplaceWithScale(scale float64) (*Laplace, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("dp: non-positive scale %v", scale)
+	}
+	return &Laplace{scale: scale}, nil
+}
+
 // NewLaplaceForGradient calibrates a Laplace mechanism for a clipped batch
 // gradient: the L1 sensitivity of an L2-clipped d-dimensional gradient is at
 // most 2·Gmax·√d / b.

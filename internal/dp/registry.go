@@ -1,0 +1,66 @@
+package dp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MechanismParams carries the calibration inputs the registered mechanisms
+// draw from. A serializable run spec stores these numbers plus a mechanism
+// name instead of a live Mechanism, so the same JSON document can be
+// materialized on any backend.
+type MechanismParams struct {
+	// GMax is the gradient clipping bound the sensitivity is derived from.
+	GMax float64
+	// BatchSize is the per-step batch size b.
+	BatchSize int
+	// Dim is the model dimension (needed by the Laplace L1 calibration).
+	Dim int
+	// Budget is the per-step (ε, δ) budget. Laplace uses only Epsilon.
+	Budget Budget
+	// Sigma, when positive, bypasses the budget calibration and sets the
+	// noise scale directly (std dev for Gaussian, scale for Laplace) — for
+	// analyses that sweep the noise level itself.
+	Sigma float64
+}
+
+// MechanismConstructor builds a mechanism from calibration parameters.
+type MechanismConstructor func(p MechanismParams) (Mechanism, error)
+
+// mechanisms maps mechanism names to constructors. Populated once at
+// initialisation and read-only afterwards, mirroring gar's and attack's
+// registries.
+var mechanisms = map[string]MechanismConstructor{
+	"gaussian": func(p MechanismParams) (Mechanism, error) {
+		if p.Sigma > 0 {
+			return NewGaussianWithSigma(p.Sigma)
+		}
+		return NewGaussian(p.GMax, p.BatchSize, p.Budget)
+	},
+	"laplace": func(p MechanismParams) (Mechanism, error) {
+		if p.Sigma > 0 {
+			return NewLaplaceWithScale(p.Sigma)
+		}
+		return NewLaplaceForGradient(p.GMax, p.BatchSize, p.Dim, p.Budget.Epsilon)
+	},
+}
+
+// New builds the named mechanism from the given calibration parameters. The
+// name must be one of Names().
+func New(name string, p MechanismParams) (Mechanism, error) {
+	ctor, ok := mechanisms[name]
+	if !ok {
+		return nil, fmt.Errorf("dp: unknown mechanism %q (known: %v)", name, Names())
+	}
+	return ctor(p)
+}
+
+// Names returns the sorted list of registered mechanism names.
+func Names() []string {
+	names := make([]string, 0, len(mechanisms))
+	for name := range mechanisms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,54 @@
+package dp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMechanismRegistry(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, []string{"gaussian", "laplace"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+
+	p := MechanismParams{GMax: 0.01, BatchSize: 50, Dim: 69,
+		Budget: Budget{Epsilon: 0.2, Delta: 1e-6}}
+
+	g, err := New("gaussian", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewGaussian(p.GMax, p.BatchSize, p.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sigma() != want.Sigma() || g.Name() != "gaussian" {
+		t.Errorf("registry gaussian sigma %v, direct %v", g.Sigma(), want.Sigma())
+	}
+
+	l, err := New("laplace", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL, err := NewLaplaceForGradient(p.GMax, p.BatchSize, p.Dim, p.Budget.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Sigma() != wantL.Sigma() || l.Name() != "laplace" {
+		t.Errorf("registry laplace scale %v, direct %v", l.Sigma(), wantL.Sigma())
+	}
+
+	if _, err := New("nope", p); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+
+	// Explicit sigma bypasses calibration entirely, so a spec can sweep the
+	// noise scale without a budget.
+	gs, err := New("gaussian", MechanismParams{Sigma: 0.5})
+	if err != nil || gs.Sigma() != 0.5 {
+		t.Errorf("explicit sigma: %v, %v", gs, err)
+	}
+	ls, err := New("laplace", MechanismParams{Sigma: 0.25})
+	if err != nil || ls.Sigma() != 0.25 {
+		t.Errorf("explicit laplace scale: %v, %v", ls, err)
+	}
+}

@@ -34,14 +34,11 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"dpbyz/internal/attack"
 	"dpbyz/internal/data"
-	"dpbyz/internal/dp"
-	"dpbyz/internal/gar"
 	"dpbyz/internal/metrics"
 	"dpbyz/internal/model"
 	"dpbyz/internal/randx"
-	"dpbyz/internal/simulate"
+	runspec "dpbyz/internal/spec"
 )
 
 // Paper hyperparameters (§5.1).
@@ -281,75 +278,64 @@ func resolveWorkers(s Sched) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runSeed executes one (condition, seed) cell and returns its outcome.
-// innerParallel enables simulate's per-worker goroutines — useful when the
-// cell scheduler itself is serial, pure oversubscription when cells already
-// saturate the cores (simulate's results are identical either way).
-func runSeed(ctx context.Context, spec FigureSpec, cond Condition, in seedInputs, seed int, innerParallel bool) (cellRun, error) {
-	scale := spec.Scale
-	var m model.Model
-	if spec.MLPHidden > 0 {
-		mlp, err := model.NewMLP(scale.features(), spec.MLPHidden)
-		if err != nil {
-			return cellRun{}, err
-		}
-		m = mlp
-	} else {
-		lm, err := model.NewLogisticMSE(scale.features())
-		if err != nil {
-			return cellRun{}, err
-		}
-		m = lm
-	}
-
-	cfg := simulate.Config{
-		Model:     m,
-		Train:     in.train,
-		Test:      in.test,
-		Steps:     scale.steps(),
-		BatchSize: spec.BatchSize,
+// CellSpec builds the serializable run spec of one (condition, seed) cell —
+// the same runspec.Spec object that drives cmd/dpbyz-train and the cluster
+// backend, so any grid cell can be exported, replayed, or moved to a
+// distributed deployment unchanged.
+func CellSpec(fig FigureSpec, cond Condition, seed int) runspec.Spec {
+	scale := fig.Scale
+	s := runspec.Spec{
+		Name: fig.ID + "/" + cond.Label,
+		Data: runspec.DataSpec{N: scale.datasetSize(), Features: scale.features()},
 		// The paper's stack applies its 0.99 momentum at the workers
 		// (the distributed-momentum technique of its ref [16]); see
 		// simulate.Config.WorkerMomentum.
+		Steps:          scale.steps(),
+		BatchSize:      fig.BatchSize,
 		LearningRate:   PaperLearningRate,
 		WorkerMomentum: PaperMomentum,
 		ClipNorm:       PaperClipNorm,
 		Seed:           uint64(seed),
-		InitParams:     in.mlpInit,
 		AccuracyEvery:  PaperAccuracyEvery,
-		Parallel:       innerParallel,
+	}
+	if fig.MLPHidden > 0 {
+		s.Model = runspec.ModelSpec{Name: "mlp", Hidden: fig.MLPHidden}
+	} else {
+		s.Model = runspec.ModelSpec{Name: "logistic-mse"}
 	}
 	if cond.AttackName == "" {
 		// Unattacked baseline: all 11 workers honest, plain averaging
 		// (the paper's "when averaging is used, the f workers ... behave
 		// as honest workers").
-		g, err := gar.NewAverage(PaperWorkers)
-		if err != nil {
-			return cellRun{}, err
-		}
-		cfg.GAR = g
+		s.GAR = runspec.GARSpec{Name: "average", N: PaperWorkers}
 	} else {
-		g, err := gar.NewMDA(PaperWorkers, PaperByzantine)
-		if err != nil {
-			return cellRun{}, err
-		}
-		cfg.GAR = g
-		atk, err := attack.New(cond.AttackName)
-		if err != nil {
-			return cellRun{}, err
-		}
-		cfg.Attack = atk
+		s.GAR = runspec.GARSpec{Name: "mda", N: PaperWorkers, F: PaperByzantine}
+		s.Attack = &runspec.AttackSpec{Name: cond.AttackName}
 	}
 	if cond.DP {
-		mech, err := dp.NewGaussian(PaperClipNorm, spec.BatchSize,
-			dp.Budget{Epsilon: spec.Epsilon, Delta: PaperDelta})
-		if err != nil {
-			return cellRun{}, err
+		s.Mechanism = &runspec.MechanismSpec{
+			Name: "gaussian", Epsilon: fig.Epsilon, Delta: PaperDelta,
 		}
-		cfg.Mechanism = mech
 	}
+	return s
+}
 
-	res, err := simulate.Run(ctx, cfg)
+// runSeed executes one (condition, seed) cell on the local backend and
+// returns its outcome. The pre-built per-seed datasets (and MLP init) are
+// injected so conditions share them; innerParallel enables simulate's
+// per-worker goroutines — useful when the cell scheduler itself is serial,
+// pure oversubscription when cells already saturate the cores (simulate's
+// results are identical either way).
+func runSeed(ctx context.Context, fig FigureSpec, cond Condition, in seedInputs, seed int, innerParallel bool) (cellRun, error) {
+	s := CellSpec(fig, cond, seed)
+	opts := []runspec.Option{runspec.WithDatasets(in.train, in.test)}
+	if in.mlpInit != nil {
+		opts = append(opts, runspec.WithInitParams(in.mlpInit))
+	}
+	if innerParallel {
+		opts = append(opts, runspec.WithParallel())
+	}
+	res, err := (&runspec.LocalBackend{}).Run(ctx, s, opts...)
 	if err != nil {
 		return cellRun{}, err
 	}

@@ -32,6 +32,19 @@ func WriteFigureReport(w io.Writer, res *FigureResult) error {
 	return nil
 }
 
+// WriteCellReport renders a single aggregated cell — the output of the
+// spec-driven experiment mode (RunSpecCell).
+func WriteCellReport(w io.Writer, c *CellResult, seeds int) error {
+	if _, err := fmt.Fprintf(w, "%-12s %12s %12s %14s %12s\n",
+		"cell", "min-loss", "steps-to-min", "final-acc", "acc-std"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-12s %12.5f %12.1f %14.4f %12.4f  (%d seeds)\n",
+		c.Condition.Label, c.MinLossMean, c.StepsToMinMean,
+		c.FinalAccMean, c.FinalAccStd, seeds)
+	return err
+}
+
 // WriteTheorem1Report renders the d sweep with the DP/clear error ratio.
 func WriteTheorem1Report(w io.Writer, points []Theorem1Point) error {
 	if _, err := fmt.Fprintf(w, "%-8s %14s %14s %10s\n",

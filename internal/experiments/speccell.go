@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	runspec "dpbyz/internal/spec"
+)
+
+// SpecCellConfig runs one arbitrary serializable run spec as an experiment
+// cell: the spec is repeated across seeds on the deterministic scheduler and
+// aggregated exactly like a figure-grid cell, so any JSON spec file — the
+// same one cmd/dpbyz-train or a cluster deployment consumes — becomes a
+// mean ± std experiment with no translation layer.
+type SpecCellConfig struct {
+	// Run is the spec to execute.
+	Run runspec.Spec
+	// Seeds repeats the run with seeds 1..Seeds (0 means a single run with
+	// the spec's own seed).
+	Seeds int
+	// Sched configures the seed scheduler (same determinism contract as
+	// RunFigure).
+	Sched Sched
+}
+
+// RunSpecCell executes the spec across the configured seeds on the local
+// backend and aggregates the curves.
+func RunSpecCell(ctx context.Context, cfg SpecCellConfig) (*CellResult, error) {
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	label := cfg.Run.Name
+	if label == "" {
+		label = "spec"
+	}
+	runs := make([]cellRun, seeds)
+	inner := resolveWorkers(cfg.Sched) == 1
+	err := runGrid(ctx, cfg.Sched, seeds,
+		func(t int) string { return fmt.Sprintf("%s seed %d", label, t+1) },
+		func(ctx context.Context, t int) error {
+			s := cfg.Run
+			if cfg.Seeds > 0 {
+				s.Seed = uint64(t + 1)
+			}
+			var opts []runspec.Option
+			if inner {
+				opts = append(opts, runspec.WithParallel())
+			}
+			res, err := (&runspec.LocalBackend{}).Run(ctx, s, opts...)
+			if err != nil {
+				return fmt.Errorf("experiments: %s seed %d: %w", label, t+1, err)
+			}
+			minLoss, minStep := res.History.MinLoss()
+			runs[t] = cellRun{history: res.History, minLoss: minLoss, minStep: minStep}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	cond := Condition{Label: label}
+	if cfg.Run.Attack != nil {
+		cond.AttackName = cfg.Run.Attack.Name
+	}
+	cond.DP = cfg.Run.Mechanism != nil
+	return aggregateCell(cond, runs)
+}

@@ -79,6 +79,40 @@ func (r *Stream) Derive(labels ...uint64) *Stream {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// StreamState is the serializable state of a Stream: the xoshiro256++ word
+// state plus the Box-Muller spare cache. It deliberately excludes Sample's
+// membership table, which is a pure performance cache — the draw sequence
+// does not depend on it — so a restored stream produces bit-identical draws
+// without carrying the scratch.
+type StreamState struct {
+	S        [4]uint64 `json:"s"`
+	Spare    float64   `json:"spare,omitempty"`
+	HasSpare bool      `json:"hasSpare,omitempty"`
+}
+
+// State snapshots the stream. Restoring the snapshot with SetState (or
+// Restore) yields a stream whose future draws are bit-identical to this
+// stream's.
+func (r *Stream) State() StreamState {
+	return StreamState{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState overwrites the stream's generator state with a snapshot taken by
+// State. The sample scratch is left alone: it is regenerated on demand and
+// never influences the drawn values.
+func (r *Stream) SetState(st StreamState) {
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
+// Restore returns a new stream positioned at the given snapshot.
+func Restore(st StreamState) *Stream {
+	var r Stream
+	r.SetState(st)
+	return &r
+}
+
 // Uint64 returns the next 64 uniformly random bits (xoshiro256++).
 func (r *Stream) Uint64() uint64 {
 	res := rotl(r.s[0]+r.s[3], 23) + r.s[0]

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"dpbyz/internal/attack"
+	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/data"
 	"dpbyz/internal/dp"
 	"dpbyz/internal/gar"
@@ -123,6 +124,32 @@ type Config struct {
 	// Parallel computes worker gradients on separate goroutines. The result
 	// is identical either way; this only trades wall-clock for cores.
 	Parallel bool
+
+	// StepHook, when non-nil, is invoked after every completed step with the
+	// step's metric record and a read-only view of the current parameter
+	// vector (valid only for the duration of the call). A non-nil error
+	// aborts the run. The nil check is the only cost on the hot path, so
+	// runs without a hook keep the zero-allocation steady state.
+	StepHook func(rec metrics.StepRecord, params []float64) error
+
+	// SnapshotEvery, when positive together with SnapshotFunc, captures a
+	// resumable checkpoint.RunState every k completed steps (and after the
+	// final step). Snapshots happen at step boundaries and copy all mutable
+	// state, so they are safe to persist while the run continues.
+	SnapshotEvery int
+	// SnapshotFunc receives each periodic snapshot; a non-nil error aborts
+	// the run.
+	SnapshotFunc func(*checkpoint.RunState) error
+
+	// Resume, when non-nil, continues a run from a mid-run snapshot written
+	// by SnapshotFunc: training starts at Resume.Step with the captured
+	// parameters, momentum buffers and randomness stream positions, and the
+	// trajectory from there is bit-identical to the uninterrupted run's.
+	// The rest of the Config must describe the same scenario the snapshot
+	// was taken from. Accountant spend, when configured, restarts at zero:
+	// callers tracking a cumulative budget across segments must carry the
+	// prior spend themselves.
+	Resume *checkpoint.RunState
 }
 
 // Result bundles the outcome of a run.
@@ -221,6 +248,7 @@ type runner struct {
 	cfg         Config
 	n, f        int
 	computeFrom int
+	start       int
 	workers     []*worker
 	attackRng   *randx.Stream
 	w           []float64
@@ -253,7 +281,6 @@ func newRunner(cfg Config) (*runner, error) {
 		agg:         make([]float64, d),
 		submissions: make([][]float64, n),
 		honest:      make([][]float64, 0, n),
-		history:     metrics.NewHistory(cfg.Steps),
 	}
 	for i := range r.workers {
 		b, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(purposeBatch, uint64(i)))
@@ -281,7 +308,83 @@ func newRunner(cfg Config) (*runner, error) {
 		r.computeFrom = r.f
 	}
 	r.predictor, _ = cfg.Model.(model.Predictor)
+	if cfg.Resume != nil {
+		if err := r.restore(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	// The history covers only the (possibly resumed) segment this runner
+	// will execute, so appends never reallocate within the step budget.
+	r.history = metrics.NewHistory(cfg.Steps - r.start)
 	return r, nil
+}
+
+// snapshot captures the run's full mutable state after stepsDone completed
+// steps. Every buffer is copied, so the snapshot stays valid while the run
+// continues.
+func (r *runner) snapshot(stepsDone int) *checkpoint.RunState {
+	st := &checkpoint.RunState{
+		Version:  checkpoint.RunStateVersion,
+		Step:     stepsDone,
+		Params:   append([]float64(nil), r.w...),
+		Velocity: append([]float64(nil), r.velocity...),
+		Workers:  make([]checkpoint.WorkerRunState, len(r.workers)),
+	}
+	ar := r.attackRng.State()
+	st.AttackRng = &ar
+	for i, wk := range r.workers {
+		ws := checkpoint.WorkerRunState{
+			Batch: wk.batcher.RNGState(),
+			Noise: wk.noise.State(),
+		}
+		if wk.momentum != nil {
+			ws.Momentum = append([]float64(nil), wk.momentum...)
+		}
+		st.Workers[i] = ws
+	}
+	return st
+}
+
+// restore rewinds the runner to a snapshot taken by snapshot. The config
+// must describe the same scenario; structural mismatches are rejected.
+func (r *runner) restore(st *checkpoint.RunState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	d := len(r.w)
+	if len(st.Params) != d {
+		return fmt.Errorf("simulate: resume params dim %d, model dim %d", len(st.Params), d)
+	}
+	if st.Step > r.cfg.Steps {
+		return fmt.Errorf("simulate: resume step %d beyond configured steps %d",
+			st.Step, r.cfg.Steps)
+	}
+	// st.Step == Steps is a completed run: resuming it is a no-op that
+	// returns the finished parameters, so scripted resume is idempotent.
+	if len(st.Workers) != len(r.workers) {
+		return fmt.Errorf("simulate: resume has %d workers, config has %d",
+			len(st.Workers), len(r.workers))
+	}
+	r.start = st.Step
+	copy(r.w, st.Params)
+	if st.Velocity != nil {
+		copy(r.velocity, st.Velocity)
+	}
+	if st.AttackRng != nil {
+		r.attackRng.SetState(*st.AttackRng)
+	}
+	for i, ws := range st.Workers {
+		wk := r.workers[i]
+		wk.batcher.SetRNGState(ws.Batch)
+		wk.noise.SetState(ws.Noise)
+		if ws.Momentum != nil {
+			if wk.momentum == nil {
+				return fmt.Errorf("simulate: resume worker %d has momentum state but worker momentum is disabled", i)
+			}
+			copy(wk.momentum, ws.Momentum)
+		}
+	}
+	return nil
 }
 
 // runWorker executes one worker's fused step pipeline and leaves the
@@ -423,6 +526,11 @@ func (r *runner) step(step int) error {
 		}
 	}
 	r.history.Append(rec)
+	if cfg.StepHook != nil {
+		if err := cfg.StepHook(rec, r.w); err != nil {
+			return fmt.Errorf("simulate: step %d hook: %w", step, err)
+		}
+	}
 	return nil
 }
 
@@ -433,7 +541,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for step := 0; step < cfg.Steps; step++ {
+	snapshots := cfg.SnapshotEvery > 0 && cfg.SnapshotFunc != nil
+	for step := r.start; step < cfg.Steps; step++ {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("simulate: step %d: %w", step, ctx.Err())
@@ -441,6 +550,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		if err := r.step(step); err != nil {
 			return nil, err
+		}
+		if snapshots && ((step+1)%cfg.SnapshotEvery == 0 || step == cfg.Steps-1) {
+			if err := cfg.SnapshotFunc(r.snapshot(step + 1)); err != nil {
+				return nil, fmt.Errorf("simulate: step %d snapshot: %w", step, err)
+			}
 		}
 	}
 	return &Result{Params: r.w, History: r.history}, nil

@@ -1,0 +1,72 @@
+//go:build !race
+
+package spec
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"dpbyz/internal/vecmath"
+)
+
+// allocGateSpec is a DP-on run with worker momentum on the materialized
+// (Spec-driven) path — the same shape internal/simulate's AllocsPerRun gate
+// uses, but built entirely from registry names.
+func allocGateSpec(steps int) Spec {
+	return Spec{
+		Data:           DataSpec{N: 600, Features: 12},
+		GAR:            GARSpec{Name: "average", N: 7},
+		Mechanism:      &MechanismSpec{Name: "gaussian", Epsilon: 0.2, Delta: 1e-6},
+		Steps:          steps,
+		BatchSize:      20,
+		LearningRate:   0.5,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           1,
+	}
+}
+
+// With no observer installed, a LocalBackend run's marginal cost per step
+// must be zero allocations: everything beyond setup is covered by
+// internal/simulate's per-step AllocsPerRun gates, and the Spec layer must
+// not have added a hook, box or conversion on the hot path. Measured as the
+// malloc-count difference between a short and a long run of the same spec.
+func TestLocalBackendZeroAllocSteadyState(t *testing.T) {
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+	const short, long = 200, 2200
+	ctx := context.Background()
+	be := &LocalBackend{}
+
+	run := func(steps int) {
+		if _, err := be.Run(ctx, allocGateSpec(steps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(32) // warm the aggregation scratch pools
+
+	var before, mid, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run(short)
+	runtime.GC()
+	runtime.ReadMemStats(&mid)
+	run(long)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	shortMallocs := mid.Mallocs - before.Mallocs
+	longMallocs := after.Mallocs - mid.Mallocs
+	if longMallocs < shortMallocs {
+		return // longer run was absolutely cheaper: marginal cost is zero
+	}
+	perStep := float64(longMallocs-shortMallocs) / float64(long-short)
+	t.Logf("marginal mallocs per step: %.4f", perStep)
+	// The two runs differ by 2000 steps; allow a handful of runtime-internal
+	// allocations (GC bookkeeping) while still proving the step loop itself
+	// allocates nothing.
+	if perStep > 0.02 {
+		t.Errorf("steady-state step allocates (%.4f mallocs/step), want 0", perStep)
+	}
+}

@@ -1,0 +1,272 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dpbyz/internal/checkpoint"
+	"dpbyz/internal/cluster"
+	"dpbyz/internal/metrics"
+)
+
+// ClusterBackend executes a Spec in the networked parameter-server
+// realization (internal/cluster): one server plus GAR.N worker loops
+// speaking the binary frame protocol over a pluggable Transport. With the
+// default in-process ChanTransport the whole cluster lives in one process —
+// the distributed code paths, including adversarial channel faults
+// configured via cluster.ChanTransport.WithFaults, under test-harness
+// control. With a TCP transport the same Run drives a real deployment's
+// in-process equivalent; cross-process deployments use ServeSpec and
+// JoinSpec from one process per node.
+//
+// Unlike the local simulator's omniscient attacker, Byzantine workers here
+// observe only their own gradient estimate, and trajectories depend on
+// message timing — cluster runs converge to the same quality but are not
+// bit-comparable with local runs.
+type ClusterBackend struct{}
+
+var _ Backend = (*ClusterBackend)(nil)
+
+// Name implements Backend.
+func (b *ClusterBackend) Name() string { return "cluster" }
+
+// serverConfig translates the Spec's server half.
+func serverConfig(s *Spec, o *runOptions, dim int, initParams []float64) cluster.ServerConfig {
+	addr := o.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return cluster.ServerConfig{
+		Addr:          addr,
+		Transport:     o.transport,
+		MaxFrameBytes: o.maxFrameBytes,
+		GAR:           nil, // filled by the caller from the materialized spec
+		Dim:           dim,
+		Steps:         s.Steps,
+		LearningRate:  s.LearningRate,
+		Momentum:      s.Momentum,
+		InitParams:    initParams,
+		RoundTimeout:  o.roundTimeout,
+		Logf:          o.logf,
+		StepHook:      o.stepHook(),
+	}
+}
+
+// workerConfig translates the Spec's worker half for worker id. The first
+// GAR.F workers are the Byzantine ones, matching the simulator's layout.
+func workerConfig(s *Spec, o *runOptions, m *materialized, id int, addr string) cluster.WorkerConfig {
+	cfg := cluster.WorkerConfig{
+		Addr:              addr,
+		Transport:         o.transport,
+		MaxFrameBytes:     o.maxFrameBytes,
+		WorkerID:          id,
+		Model:             m.model,
+		Train:             m.train,
+		BatchSize:         s.BatchSize,
+		ClipNorm:          s.ClipNorm,
+		Mechanism:         m.mech,
+		Momentum:          s.WorkerMomentum,
+		MomentumPostNoise: s.MomentumPostNoise,
+		Seed:              s.Seed,
+	}
+	if s.Attack != nil && id < s.GAR.F {
+		cfg.Attack = m.attack
+	}
+	return cfg
+}
+
+// attachCheckpointing wires periodic server-side snapshots and resume into
+// the server config. It returns the resume snapshot (nil when not resuming)
+// so callers can short-circuit a resume of an already-completed run — the
+// final periodic snapshot carries Step == Steps, which has no rounds left
+// to execute and must not bind a server that waits for workers.
+func attachCheckpointing(s *Spec, o *runOptions, cfg *cluster.ServerConfig, backend string) (*checkpoint.RunState, error) {
+	st, err := o.loadResume(s, backend)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if len(st.Params) != cfg.Dim {
+			return nil, fmt.Errorf("spec: resume params dim %d, model dim %d", len(st.Params), cfg.Dim)
+		}
+		if st.Step > s.Steps {
+			return nil, fmt.Errorf("spec: resume step %d beyond configured steps %d", st.Step, s.Steps)
+		}
+		cfg.StartStep = st.Step
+		cfg.InitParams = st.Params
+		cfg.InitVelocity = st.Velocity
+	}
+	if o.checkpointPath != "" && o.checkpointEvery > 0 {
+		specJSON, err := s.JSON()
+		if err != nil {
+			return nil, err
+		}
+		path := o.checkpointPath
+		cfg.SnapshotEvery = o.checkpointEvery
+		cfg.SnapshotFunc = func(step int, params, velocity []float64) error {
+			return checkpoint.SaveRunState(path, &checkpoint.RunState{
+				Version:  checkpoint.RunStateVersion,
+				Backend:  backend,
+				Spec:     specJSON,
+				Step:     step,
+				Params:   append([]float64(nil), params...),
+				Velocity: append([]float64(nil), velocity...),
+			})
+		}
+	}
+	return st, nil
+}
+
+// completedResult packages a resume-of-finished-run no-op: the snapshot's
+// parameters come back unchanged with an empty history, mirroring the local
+// backend's idempotent resume.
+func completedResult(backend string, st *checkpoint.RunState) *Result {
+	return &Result{
+		Backend: backend,
+		Params:  append([]float64(nil), st.Params...),
+		History: &metrics.History{},
+		Cluster: &ClusterStats{},
+	}
+}
+
+// Run implements Backend: it binds the server, spins all GAR.N workers as
+// goroutines over the configured transport, and joins everything before
+// returning. Worker errors after a successful server run (e.g. a faulty
+// link dropping the final broadcast) are reported through WithLogf, not as
+// run failures — the trained model is the server's.
+func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
+	o := applyOptions(opts)
+	m, err := s.materialize(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.transport == nil {
+		o.transport = cluster.NewChanTransport()
+		if o.addr == "" {
+			o.addr = "cluster"
+		}
+	}
+
+	srvCfg := serverConfig(&s, o, m.model.Dim(), m.initParams)
+	srvCfg.GAR = m.gar
+	st, err := attachCheckpointing(&s, o, &srvCfg, b.Name())
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && st.Step >= s.Steps {
+		return completedResult(b.Name(), st), nil
+	}
+	srv, err := cluster.NewServer(srvCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n := s.GAR.N
+	workerCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	rounds := make([]int, n)
+	workerErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res, err := cluster.RunWorker(workerCtx, workerConfig(&s, o, m, id, srv.Addr()))
+			if res != nil {
+				rounds[id] = res.Rounds
+			}
+			workerErrs[id] = err
+		}(i)
+	}
+
+	res, runErr := srv.Run(ctx)
+	// The final broadcast (or the server teardown on error) unblocks every
+	// worker; the cancel covers workers wedged before their hello.
+	stopWorkers()
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if o.logf != nil {
+		for id, werr := range workerErrs {
+			if werr != nil {
+				o.logf("worker %d: %v", id, werr)
+			}
+		}
+	}
+	return &Result{
+		Backend: b.Name(),
+		Params:  res.Params,
+		History: res.History,
+		Cluster: &ClusterStats{
+			Accepted:     res.AcceptedGradients,
+			Discarded:    res.DiscardedSubmissions,
+			Missed:       res.MissedGradients,
+			WorkerRounds: rounds,
+		},
+	}, nil
+}
+
+// ServeSpec runs only the parameter-server half of a Spec — the entry point
+// for cmd/dpbyz-server, where each worker joins from its own process via
+// JoinSpec. Placement (address, transport, frame caps, timeouts,
+// checkpointing) comes from the options; the scenario comes from the Spec.
+func ServeSpec(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
+	o := applyOptions(opts)
+	m, err := s.materialize(o)
+	if err != nil {
+		return nil, err
+	}
+	srvCfg := serverConfig(&s, o, m.model.Dim(), m.initParams)
+	srvCfg.GAR = m.gar
+	st, err := attachCheckpointing(&s, o, &srvCfg, "cluster")
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && st.Step >= s.Steps {
+		return completedResult("cluster", st), nil
+	}
+	srv, err := cluster.NewServer(srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.logf != nil {
+		o.logf("listening on %s, waiting for %d workers", srv.Addr(), s.GAR.N)
+	}
+	res, err := srv.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Backend: "cluster",
+		Params:  res.Params,
+		History: res.History,
+		Cluster: &ClusterStats{
+			Accepted:  res.AcceptedGradients,
+			Discarded: res.DiscardedSubmissions,
+			Missed:    res.MissedGradients,
+		},
+	}, nil
+}
+
+// JoinSpec runs only worker workerID's half of a Spec — the entry point for
+// cmd/dpbyz-worker. Every worker materializes the same deterministic train
+// split the local backend samples from (distinct per-worker batch streams
+// come from the shared run seed and the worker id), so a cluster assembled
+// from JoinSpec processes trains the same scenario as LocalBackend.
+func JoinSpec(ctx context.Context, s Spec, workerID int, opts ...Option) (*cluster.WorkerResult, error) {
+	if workerID < 0 || workerID >= s.GAR.N {
+		return nil, fmt.Errorf("spec: worker id %d outside [0, %d)", workerID, s.GAR.N)
+	}
+	o := applyOptions(opts)
+	m, err := s.materialize(o)
+	if err != nil {
+		return nil, err
+	}
+	addr := o.addr
+	if addr == "" {
+		addr = "127.0.0.1:7001"
+	}
+	return cluster.RunWorker(ctx, workerConfig(&s, o, m, workerID, addr))
+}

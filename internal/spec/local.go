@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"context"
+
+	"dpbyz/internal/checkpoint"
+	"dpbyz/internal/simulate"
+)
+
+// LocalBackend executes a Spec with the in-process simulator
+// (internal/simulate): n worker pipelines in one process with an omniscient
+// attacker, the configuration of the paper's figures. The steady-state step
+// performs zero allocations when no observer is installed, preserving the
+// simulator's AllocsPerRun gates.
+type LocalBackend struct {
+	// Parallel computes worker gradients on separate goroutines; results
+	// are bit-identical either way. WithParallel overrides per run.
+	Parallel bool
+}
+
+var _ Backend = (*LocalBackend)(nil)
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return "local" }
+
+// Config translates a Spec (plus runtime options) into the simulator's
+// native configuration. Exposed for the in-package tests that gate the
+// allocation behaviour of the materialized hot path.
+func (b *LocalBackend) config(s *Spec, o *runOptions) (simulate.Config, error) {
+	m, err := s.materialize(o)
+	if err != nil {
+		return simulate.Config{}, err
+	}
+	cfg := simulate.Config{
+		Model:             m.model,
+		Train:             m.train,
+		Test:              m.test,
+		GAR:               m.gar,
+		Attack:            m.attack,
+		Mechanism:         m.mech,
+		Steps:             s.Steps,
+		BatchSize:         s.BatchSize,
+		LearningRate:      s.LearningRate,
+		Momentum:          s.Momentum,
+		WorkerMomentum:    s.WorkerMomentum,
+		MomentumPostNoise: s.MomentumPostNoise,
+		ClipNorm:          s.ClipNorm,
+		Seed:              s.Seed,
+		InitParams:        m.initParams,
+		AccuracyEvery:     s.AccuracyEvery,
+		VNRatioEvery:      s.VNRatioEvery,
+		Parallel:          b.Parallel || o.parallel,
+		StepHook:          o.stepHook(),
+	}
+	return cfg, nil
+}
+
+// Run implements Backend.
+func (b *LocalBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
+	o := applyOptions(opts)
+	cfg, err := b.config(&s, o)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Resume, err = o.loadResume(&s, b.Name()); err != nil {
+		return nil, err
+	}
+	if o.checkpointPath != "" && o.checkpointEvery > 0 {
+		specJSON, err := s.JSON()
+		if err != nil {
+			return nil, err
+		}
+		path := o.checkpointPath
+		cfg.SnapshotEvery = o.checkpointEvery
+		cfg.SnapshotFunc = func(st *checkpoint.RunState) error {
+			st.Backend = b.Name()
+			st.Spec = specJSON
+			return checkpoint.SaveRunState(path, st)
+		}
+	}
+	res, err := simulate.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Backend: b.Name(), Params: res.Params, History: res.History}, nil
+}

@@ -1,0 +1,122 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"dpbyz/internal/metrics"
+)
+
+// StepEvent is one completed step as seen by an Observer.
+type StepEvent struct {
+	// Step is the 0-based step index.
+	Step int
+	// Loss is the step's training-loss metric (the aggregate-norm proxy on
+	// the cluster backend).
+	Loss float64
+	// Accuracy is the test accuracy, NaN when not measured this step.
+	Accuracy float64
+	// VNRatio is the empirical VN ratio, NaN when not measured this step.
+	VNRatio float64
+	// Params is a read-only view of the current parameter vector, valid only
+	// for the duration of the OnStep call; copy to retain.
+	Params []float64
+}
+
+// Observer streams per-step metrics out of a running backend. Observers run
+// on the training goroutine: a slow observer slows the run, and a non-nil
+// error aborts it. When no observer is installed the backends keep their
+// zero-allocation steady state — the hook is nil and never constructed.
+type Observer interface {
+	OnStep(ev StepEvent) error
+}
+
+// HistorySink is an in-memory Observer: it accumulates every step into a
+// metrics.History, the same structure the backends return, so streaming and
+// batch consumers share one type.
+type HistorySink struct {
+	h *metrics.History
+}
+
+// NewHistorySink returns an empty in-memory sink.
+func NewHistorySink() *HistorySink {
+	return &HistorySink{h: &metrics.History{}}
+}
+
+// OnStep implements Observer.
+func (s *HistorySink) OnStep(ev StepEvent) error {
+	s.h.Append(metrics.StepRecord{
+		Step: ev.Step, Loss: ev.Loss, Accuracy: ev.Accuracy, VNRatio: ev.VNRatio,
+	})
+	return nil
+}
+
+// History returns the accumulated trace.
+func (s *HistorySink) History() *metrics.History { return s.h }
+
+// JSONLSink writes one JSON object per step to an io.Writer — a streaming
+// metrics log that external tooling can tail while the run is live.
+// Unmeasured metrics (NaN) are omitted rather than emitted as invalid JSON.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// jsonlRecord is the wire form of one step. Pointer fields drop NaN metrics
+// from the output instead of producing invalid JSON.
+type jsonlRecord struct {
+	Step     int      `json:"step"`
+	Loss     float64  `json:"loss"`
+	Accuracy *float64 `json:"accuracy,omitempty"`
+	VNRatio  *float64 `json:"vnRatio,omitempty"`
+}
+
+// OnStep implements Observer.
+func (s *JSONLSink) OnStep(ev StepEvent) error {
+	rec := jsonlRecord{Step: ev.Step, Loss: ev.Loss}
+	if !math.IsNaN(ev.Accuracy) {
+		rec.Accuracy = &ev.Accuracy
+	}
+	if !math.IsNaN(ev.VNRatio) {
+		rec.VNRatio = &ev.VNRatio
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(rec)
+}
+
+// ProgressSink prints a one-line progress report every k steps (and for
+// step 0), for interactive CLI runs.
+type ProgressSink struct {
+	w     io.Writer
+	every int
+}
+
+// NewProgressSink reports to w every `every` steps (every <= 0 means 100).
+func NewProgressSink(w io.Writer, every int) *ProgressSink {
+	if every <= 0 {
+		every = 100
+	}
+	return &ProgressSink{w: w, every: every}
+}
+
+// OnStep implements Observer.
+func (s *ProgressSink) OnStep(ev StepEvent) error {
+	if ev.Step%s.every != 0 {
+		return nil
+	}
+	if math.IsNaN(ev.Accuracy) {
+		_, err := fmt.Fprintf(s.w, "step %d: loss=%.6g\n", ev.Step, ev.Loss)
+		return err
+	}
+	_, err := fmt.Fprintf(s.w, "step %d: loss=%.6g acc=%.4f\n", ev.Step, ev.Loss, ev.Accuracy)
+	return err
+}

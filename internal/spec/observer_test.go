@@ -1,0 +1,131 @@
+package spec
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+func observerSpec(steps int) Spec {
+	return Spec{
+		Data:          DataSpec{N: 500, Features: 8},
+		GAR:           GARSpec{Name: "average", N: 5},
+		Steps:         steps,
+		BatchSize:     20,
+		LearningRate:  0.5,
+		Seed:          3,
+		AccuracyEvery: 10,
+	}
+}
+
+// Observers see every step in order, with the measured-metrics convention
+// (NaN when not measured) and a parameter view of the right dimension.
+func TestObserverStreaming(t *testing.T) {
+	const steps = 25
+	sink := NewHistorySink()
+	var events []StepEvent
+	probe := observerFunc(func(ev StepEvent) error {
+		if len(ev.Params) == 0 {
+			t.Fatal("empty params view")
+		}
+		events = append(events, StepEvent{
+			Step: ev.Step, Loss: ev.Loss, Accuracy: ev.Accuracy, VNRatio: ev.VNRatio,
+		})
+		return nil
+	})
+	res, err := (&LocalBackend{}).Run(context.Background(), observerSpec(steps),
+		WithObserver(sink), WithObserver(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != steps || sink.History().Len() != steps {
+		t.Fatalf("observed %d events, sink %d, want %d", len(events), sink.History().Len(), steps)
+	}
+	for i, ev := range events {
+		rec := res.History.Record(i)
+		if ev.Step != i || ev.Loss != rec.Loss {
+			t.Fatalf("event %d: %+v vs history %+v", i, ev, rec)
+		}
+		measured := i%10 == 0 || i == steps-1
+		if measured == math.IsNaN(ev.Accuracy) {
+			t.Errorf("step %d: accuracy measured=%v but value %v", i, measured, ev.Accuracy)
+		}
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(StepEvent) error
+
+func (f observerFunc) OnStep(ev StepEvent) error { return f(ev) }
+
+// The JSONL sink emits one valid JSON object per step, omitting unmeasured
+// metrics instead of writing NaN.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := (&LocalBackend{}).Run(context.Background(), observerSpec(12),
+		WithObserver(NewJSONLSink(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec struct {
+			Step     int      `json:"step"`
+			Loss     float64  `json:"loss"`
+			Accuracy *float64 `json:"accuracy"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%s)", lines, err, sc.Text())
+		}
+		if rec.Step != lines {
+			t.Fatalf("line %d has step %d", lines, rec.Step)
+		}
+		measured := lines%10 == 0 || lines == 11
+		if (rec.Accuracy != nil) != measured {
+			t.Errorf("step %d: accuracy presence %v, want %v", lines, rec.Accuracy != nil, measured)
+		}
+		lines++
+	}
+	if lines != 12 {
+		t.Fatalf("%d JSONL lines, want 12", lines)
+	}
+}
+
+// An observer error aborts the run (the contract the resume test's
+// interruption harness relies on).
+func TestObserverErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := (&LocalBackend{}).Run(context.Background(), observerSpec(50),
+		WithObserver(observerFunc(func(ev StepEvent) error {
+			if ev.Step == 3 {
+				return boom
+			}
+			return nil
+		})))
+	if !errors.Is(err, boom) {
+		t.Fatalf("run returned %v, want the observer error", err)
+	}
+}
+
+// The cluster backend streams the same events from the server's round loop.
+func TestObserverOnCluster(t *testing.T) {
+	s := observerSpec(10)
+	sink := NewHistorySink()
+	res, err := (&ClusterBackend{}).Run(context.Background(), s, WithObserver(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.History().Len() != 10 {
+		t.Fatalf("cluster sink %d records", sink.History().Len())
+	}
+	for i := 0; i < 10; i++ {
+		if sink.History().Record(i).Loss != res.History.Record(i).Loss {
+			t.Fatal("cluster sink diverges from returned history")
+		}
+	}
+}

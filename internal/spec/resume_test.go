@@ -1,0 +1,218 @@
+package spec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dpbyz/internal/checkpoint"
+)
+
+// resumeSpec is a DP + attack + worker-momentum run — every piece of
+// per-step mutable state (params, velocity, momentum buffers, batch, noise
+// and attack streams) is live, so bit-identical resume is only possible if
+// the snapshot captures all of it.
+func resumeSpec(steps int) Spec {
+	return Spec{
+		Data:           DataSpec{N: 600, Features: 10},
+		GAR:            GARSpec{Name: "trimmedmean", N: 7, F: 2},
+		Attack:         &AttackSpec{Name: "alie"},
+		Mechanism:      &MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
+		Steps:          steps,
+		BatchSize:      20,
+		LearningRate:   2,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           1,
+	}
+}
+
+// abortAfter is an Observer that kills the run after a given step —
+// simulating an interruption mid-run, after some snapshots were written.
+type abortAfter struct {
+	step int
+}
+
+var errAborted = errors.New("test: simulated interruption")
+
+func (a *abortAfter) OnStep(ev StepEvent) error {
+	if ev.Step >= a.step {
+		return errAborted
+	}
+	return nil
+}
+
+// A run interrupted at step k and resumed from its last periodic snapshot
+// must be bit-identical — parameters and every subsequent metric — to the
+// run that was never interrupted.
+func TestResumeBitIdentical(t *testing.T) {
+	const (
+		steps    = 60
+		every    = 25 // snapshots at 25 and 50
+		abortAt  = 34 // interrupt between the two; resume restarts at 25
+		resumeAt = 25
+	)
+	ctx := context.Background()
+	be := &LocalBackend{}
+
+	full, err := be.Run(ctx, resumeSpec(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	_, err = be.Run(ctx, resumeSpec(steps),
+		WithCheckpointFile(path, every),
+		WithObserver(&abortAfter{step: abortAt}))
+	if !errors.Is(err, errAborted) {
+		t.Fatalf("interrupted run returned %v, want the observer's abort", err)
+	}
+
+	st, err := checkpoint.LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != resumeAt {
+		t.Fatalf("snapshot at step %d, want %d", st.Step, resumeAt)
+	}
+	if st.Backend != "local" {
+		t.Errorf("snapshot backend %q", st.Backend)
+	}
+
+	resumed, err := be.Run(ctx, resumeSpec(steps), WithResumeFile(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Params) != len(full.Params) {
+		t.Fatalf("param dims %d vs %d", len(resumed.Params), len(full.Params))
+	}
+	for i := range full.Params {
+		if resumed.Params[i] != full.Params[i] {
+			t.Fatalf("param %d: resumed %v != uninterrupted %v (not bit-identical)",
+				i, resumed.Params[i], full.Params[i])
+		}
+	}
+	// The resumed history covers steps resumeAt..steps-1 and must match the
+	// uninterrupted run's tail exactly.
+	if resumed.History.Len() != steps-resumeAt {
+		t.Fatalf("resumed history length %d, want %d", resumed.History.Len(), steps-resumeAt)
+	}
+	for i := 0; i < resumed.History.Len(); i++ {
+		got, want := resumed.History.Record(i), full.History.Record(resumeAt+i)
+		if got.Step != want.Step || got.Loss != want.Loss {
+			t.Fatalf("step %d: resumed (step=%d, loss=%v) != full (step=%d, loss=%v)",
+				resumeAt+i, got.Step, got.Loss, want.Step, want.Loss)
+		}
+	}
+}
+
+// Resuming a completed run's final snapshot is an idempotent no-op: the
+// finished parameters come back unchanged instead of an error, so scripted
+// checkpoint-resume pipelines can re-run safely.
+func TestResumeCompletedRunIdempotent(t *testing.T) {
+	ctx := context.Background()
+	be := &LocalBackend{}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	full, err := be.Run(ctx, resumeSpec(20), WithCheckpointFile(path, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := be.Run(ctx, resumeSpec(20), WithResumeFile(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Params {
+		if again.Params[i] != full.Params[i] {
+			t.Fatalf("re-resumed params diverge at %d", i)
+		}
+	}
+	if again.History.Len() != 0 {
+		t.Errorf("no-op resume recorded %d steps", again.History.Len())
+	}
+}
+
+// Resuming a snapshot against a different scenario must fail loudly.
+func TestResumeSpecMismatchRejected(t *testing.T) {
+	ctx := context.Background()
+	be := &LocalBackend{}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if _, err := be.Run(ctx, resumeSpec(20), WithCheckpointFile(path, 10)); err != nil {
+		t.Fatal(err)
+	}
+	other := resumeSpec(20)
+	other.Seed = 99
+	if _, err := be.Run(ctx, other, WithResumeFile(path)); err == nil {
+		t.Fatal("resume accepted a snapshot from a different spec")
+	}
+}
+
+// The cluster backend's periodic snapshots capture the server state; a
+// resumed cluster run continues from the snapshot's step with the captured
+// parameters and runs only the remaining rounds.
+func TestClusterCheckpointResume(t *testing.T) {
+	s := resumeSpec(20)
+	ctx := context.Background()
+	be := &ClusterBackend{}
+	path := filepath.Join(t.TempDir(), "snap.json")
+
+	full, err := be.Run(ctx, s, WithCheckpointFile(path, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 20 || st.Backend != "cluster" {
+		t.Fatalf("final snapshot step %d backend %q", st.Step, st.Backend)
+	}
+	for i, p := range st.Params {
+		if p != full.Params[i] {
+			t.Fatalf("snapshot params diverge at %d", i)
+		}
+	}
+
+	// Resuming the completed run's final snapshot is a no-op that returns
+	// the finished parameters without binding a server.
+	done, err := be.Run(ctx, s, WithResume(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.History.Len() != 0 {
+		t.Errorf("no-op cluster resume recorded %d rounds", done.History.Len())
+	}
+	for i := range full.Params {
+		if done.Params[i] != full.Params[i] {
+			t.Fatalf("no-op resume params diverge at %d", i)
+		}
+	}
+
+	// Resume from the mid-run state: only the remaining rounds execute.
+	mid := *st
+	mid.Step = 10
+	res, err := be.Run(ctx, s, WithResume(&mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() != 10 {
+		t.Fatalf("resumed cluster run recorded %d rounds, want 10", res.History.Len())
+	}
+	if got := res.Cluster.Accepted + res.Cluster.Missed; got != s.GAR.N*10 {
+		t.Fatalf("accounting %d, want %d", got, s.GAR.N*10)
+	}
+	if !allFinite(res.Params) {
+		t.Fatal("resumed params not finite")
+	}
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

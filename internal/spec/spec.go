@@ -1,0 +1,330 @@
+// Package spec defines the one serializable run description — Spec — that
+// every execution surface of the repository consumes, and the Backend
+// interface that executes it.
+//
+// A Spec references models, aggregation rules, attacks and DP mechanisms by
+// their registry names plus numeric parameters, never by live objects, so
+// the same JSON document can drive the in-process simulator
+// (LocalBackend), an in-process distributed cluster over a ChanTransport or
+// a real TCP deployment (ClusterBackend, ServeSpec/JoinSpec), and the
+// experiment grids of internal/experiments. This mirrors the separation the
+// self-stabilizing-channels literature argues for: the protocol description
+// is one object; the medium it runs over is a pluggable backend.
+//
+// JSON encoding is strict: unknown fields are rejected at decode time and
+// the document carries a schema version tag, so a spec written today keeps
+// meaning the same run tomorrow.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"dpbyz/internal/attack"
+	"dpbyz/internal/data"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/gar"
+)
+
+// Version is the Spec schema version; bump on breaking change.
+const Version = 1
+
+// Spec fully describes one training run: data, model, aggregation, threat
+// model, privacy mechanism and the optimization hyperparameters. The zero
+// value is not runnable; populate at least Model, GAR, Steps, BatchSize and
+// LearningRate. Every field is a value — a Spec round-trips through JSON
+// losslessly and two runs of the same Spec on the same backend are
+// bit-identical.
+type Spec struct {
+	// SchemaVersion is the Spec schema version. Zero means "current"; any
+	// other value must equal Version.
+	SchemaVersion int `json:"version"`
+	// Name optionally labels the run in logs and reports.
+	Name string `json:"name,omitempty"`
+
+	// Data describes the dataset and its train/test split.
+	Data DataSpec `json:"data"`
+	// Model references the learning task by registry name.
+	Model ModelSpec `json:"model"`
+	// GAR references the aggregation rule by registry name, with the system
+	// size (n, f).
+	GAR GARSpec `json:"gar"`
+	// Attack, when non-nil, makes the first GAR.F workers Byzantine with the
+	// named attack.
+	Attack *AttackSpec `json:"attack,omitempty"`
+	// Mechanism, when non-nil, injects worker-local DP noise with the named
+	// mechanism, calibrated from ClipNorm and BatchSize.
+	Mechanism *MechanismSpec `json:"mechanism,omitempty"`
+
+	// Steps is the number of synchronous SGD steps.
+	Steps int `json:"steps"`
+	// BatchSize is each worker's per-step sample size b.
+	BatchSize int `json:"batchSize"`
+	// LearningRate is the fixed step size γ.
+	LearningRate float64 `json:"learningRate"`
+	// Momentum is the server-side momentum coefficient. Use at most one of
+	// Momentum and WorkerMomentum.
+	Momentum float64 `json:"momentum,omitempty"`
+	// WorkerMomentum is the worker-side momentum coefficient (the paper's
+	// distributed-momentum pipeline).
+	WorkerMomentum float64 `json:"workerMomentum,omitempty"`
+	// MomentumPostNoise selects the theory-faithful worker ordering
+	// (per-sample clip → noise → momentum); see simulate.Config.
+	MomentumPostNoise bool `json:"momentumPostNoise,omitempty"`
+	// ClipNorm is the gradient clipping bound G_max; zero disables clipping.
+	ClipNorm float64 `json:"clipNorm,omitempty"`
+	// Seed drives all randomness of the run.
+	Seed uint64 `json:"seed"`
+	// AccuracyEvery measures test accuracy every k steps (0 disables; only
+	// the local backend can measure it — the networked server holds no data).
+	AccuracyEvery int `json:"accuracyEvery,omitempty"`
+	// VNRatioEvery records the empirical VN ratio every k steps (0 disables;
+	// local backend only).
+	VNRatioEvery int `json:"vnRatioEvery,omitempty"`
+}
+
+// DataSpec describes the dataset by source name and generation parameters.
+type DataSpec struct {
+	// Source is "synthetic-phishing" (default), "two-gaussians" or "libsvm".
+	Source string `json:"source,omitempty"`
+	// N is the dataset size (default: the phishing dataset's 11055).
+	N int `json:"n,omitempty"`
+	// Features is the feature dimension (default: the phishing 68).
+	Features int `json:"features,omitempty"`
+	// Seed drives dataset synthesis and the split (0 means the run Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Path is the LIBSVM file for Source "libsvm".
+	Path string `json:"path,omitempty"`
+	// TrainN is the train-split size (default: the paper's 8400/11055
+	// proportion of N).
+	TrainN int `json:"trainN,omitempty"`
+	// Separation is the class-mean distance for "two-gaussians" (default 2).
+	Separation float64 `json:"separation,omitempty"`
+}
+
+// ModelSpec references a learning task by name.
+type ModelSpec struct {
+	// Name is "logistic-mse" (default), "logistic-nll", "linear",
+	// "mean-estimation" or "mlp".
+	Name string `json:"name,omitempty"`
+	// Hidden is the MLP hidden width (required for "mlp").
+	Hidden int `json:"hidden,omitempty"`
+}
+
+// GARSpec references an aggregation rule by registry name for (n, f).
+type GARSpec struct {
+	// Name is a gar registry name (see gar.Names).
+	Name string `json:"name"`
+	// N is the total number of workers.
+	N int `json:"n"`
+	// F is the number of Byzantine workers the rule must tolerate.
+	F int `json:"f"`
+}
+
+// AttackSpec references a Byzantine attack by registry name.
+type AttackSpec struct {
+	// Name is an attack registry name (see attack.Names).
+	Name string `json:"name"`
+}
+
+// MechanismSpec references a DP mechanism by registry name with its budget.
+type MechanismSpec struct {
+	// Name is a dp registry name (see dp.Names): "gaussian" or "laplace".
+	Name string `json:"name"`
+	// Epsilon and Delta are the per-step budget. Laplace uses only Epsilon.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// Sigma, when positive, sets the noise scale directly instead of
+	// calibrating it from the budget.
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// Spec validation errors, matchable with errors.Is.
+var (
+	ErrBadSpecVersion = errors.New("spec: unsupported spec version")
+	ErrUnknownField   = errors.New("spec: unknown field")
+)
+
+// UnmarshalJSON decodes strictly: any field the schema does not define is an
+// error, so typos in config files fail loudly instead of silently running a
+// different experiment.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	type plain Spec // drop methods to avoid recursing into this decoder
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var p plain
+	if err := dec.Decode(&p); err != nil {
+		if bytes.Contains([]byte(err.Error()), []byte("unknown field")) {
+			return fmt.Errorf("%w: %v", ErrUnknownField, err)
+		}
+		return err
+	}
+	*s = Spec(p)
+	return nil
+}
+
+// Parse decodes and validates a Spec from JSON.
+func Parse(b []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a Spec from a JSON file.
+func Load(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: read %s: %w", path, err)
+	}
+	s, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON returns the canonical indented encoding with the version tag filled.
+func (s Spec) JSON() ([]byte, error) {
+	s.SchemaVersion = Version
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Save writes the canonical encoding to path.
+func (s Spec) Save(path string) error {
+	b, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("spec: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Defaulting accessors: the JSON stays minimal (zero fields round-trip as
+// absent) and the defaults live in exactly one place.
+
+func (d DataSpec) source() string {
+	if d.Source == "" {
+		return "synthetic-phishing"
+	}
+	return d.Source
+}
+
+func (d DataSpec) n() int {
+	if d.N > 0 {
+		return d.N
+	}
+	return data.PhishingSize
+}
+
+func (d DataSpec) features() int {
+	if d.Features > 0 {
+		return d.Features
+	}
+	return data.PhishingFeatures
+}
+
+func (d DataSpec) seed(runSeed uint64) uint64 {
+	if d.Seed != 0 {
+		return d.Seed
+	}
+	return runSeed
+}
+
+func (d DataSpec) separation() float64 {
+	if d.Separation > 0 {
+		return d.Separation
+	}
+	return 2
+}
+
+func (m ModelSpec) name() string {
+	if m.Name == "" {
+		return "logistic-mse"
+	}
+	return m.Name
+}
+
+// Validate checks the Spec for structural errors without materializing it.
+// Registry names are resolved, so an unknown GAR/attack/mechanism/model name
+// fails here rather than mid-run.
+func (s *Spec) Validate() error {
+	if s.SchemaVersion != 0 && s.SchemaVersion != Version {
+		return fmt.Errorf("%w: %d (want %d)", ErrBadSpecVersion, s.SchemaVersion, Version)
+	}
+	switch src := s.Data.source(); src {
+	case "synthetic-phishing", "two-gaussians":
+	case "libsvm":
+		if s.Data.Path == "" {
+			return errors.New("spec: libsvm source needs data.path")
+		}
+	default:
+		return fmt.Errorf("spec: unknown data source %q", src)
+	}
+	switch name := s.Model.name(); name {
+	case "logistic-mse", "logistic-nll", "linear", "mean-estimation":
+	case "mlp":
+		if s.Model.Hidden <= 0 {
+			return fmt.Errorf("spec: mlp needs a positive hidden width, got %d", s.Model.Hidden)
+		}
+	default:
+		return fmt.Errorf("spec: unknown model %q", name)
+	}
+	if s.GAR.Name == "" {
+		return errors.New("spec: missing gar.name")
+	}
+	if _, err := gar.New(s.GAR.Name, s.GAR.N, s.GAR.F); err != nil {
+		return err
+	}
+	if s.Attack != nil {
+		if _, err := attack.New(s.Attack.Name); err != nil {
+			return err
+		}
+		if s.GAR.F <= 0 {
+			return errors.New("spec: attack configured but gar.f is 0")
+		}
+	}
+	if s.Mechanism != nil {
+		if !nameKnown(dp.Names(), s.Mechanism.Name) {
+			return fmt.Errorf("spec: unknown mechanism %q (known: %v)", s.Mechanism.Name, dp.Names())
+		}
+		if s.Mechanism.Sigma <= 0 && s.ClipNorm <= 0 {
+			return errors.New("spec: mechanism calibration needs clipNorm (or an explicit sigma)")
+		}
+	}
+	if s.Steps <= 0 {
+		return fmt.Errorf("spec: non-positive steps %d", s.Steps)
+	}
+	if s.BatchSize <= 0 {
+		return fmt.Errorf("spec: non-positive batch size %d", s.BatchSize)
+	}
+	if s.LearningRate <= 0 {
+		return fmt.Errorf("spec: non-positive learning rate %v", s.LearningRate)
+	}
+	if s.Momentum > 0 && s.WorkerMomentum > 0 {
+		return errors.New("spec: use either momentum or workerMomentum, not both")
+	}
+	return nil
+}
+
+func nameKnown(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

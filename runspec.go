@@ -1,0 +1,127 @@
+package dpbyz
+
+import (
+	"context"
+
+	"dpbyz/internal/checkpoint"
+	"dpbyz/internal/cluster"
+	"dpbyz/internal/dp"
+	"dpbyz/internal/spec"
+)
+
+// The serializable run description and its execution backends. A Spec
+// references every component by registry name plus numeric parameters —
+// never live objects — so one JSON document drives the in-process simulator,
+// an in-process distributed cluster over a ChanTransport, a real TCP
+// deployment, and the experiment grids. See the package documentation for
+// the quickstart and spec.Spec for field-level docs.
+type (
+	// Spec fully describes one training run; JSON round-trip stable with a
+	// version tag and strict unknown-field rejection.
+	Spec = spec.Spec
+	// DataSpec describes the dataset by source name.
+	DataSpec = spec.DataSpec
+	// ModelSpec references the learning task by registry name.
+	ModelSpec = spec.ModelSpec
+	// GARSpec references the aggregation rule by registry name for (n, f).
+	GARSpec = spec.GARSpec
+	// AttackSpec references a Byzantine attack by registry name.
+	AttackSpec = spec.AttackSpec
+	// MechanismSpec references a DP mechanism by registry name.
+	MechanismSpec = spec.MechanismSpec
+
+	// Backend executes a Spec: LocalBackend in-process, ClusterBackend over
+	// a Transport.
+	Backend = spec.Backend
+	// LocalBackend wraps the in-process simulator (zero-allocation steady
+	// state when no observer is installed).
+	LocalBackend = spec.LocalBackend
+	// ClusterBackend runs a parameter server plus GAR.N worker loops over a
+	// pluggable Transport (default: in-process ChanTransport).
+	ClusterBackend = spec.ClusterBackend
+	// Result is the outcome of a run on any backend.
+	Result = spec.Result
+	// ClusterStats is the cluster backend's exact delivery accounting.
+	ClusterStats = spec.ClusterStats
+	// Option configures one run on a backend.
+	Option = spec.Option
+
+	// Observer streams per-step metrics out of a running backend.
+	Observer = spec.Observer
+	// StepEvent is one completed step as seen by an Observer.
+	StepEvent = spec.StepEvent
+	// HistorySink is an in-memory Observer accumulating a History.
+	HistorySink = spec.HistorySink
+	// JSONLSink streams one JSON object per step to a writer.
+	JSONLSink = spec.JSONLSink
+	// ProgressSink prints periodic progress lines.
+	ProgressSink = spec.ProgressSink
+
+	// RunState is a resumable mid-run snapshot (see WithCheckpointFile /
+	// WithResume).
+	RunState = checkpoint.RunState
+
+	// Transport is the cluster communication substrate (see NewChanTransport
+	// and TCPTransport).
+	Transport = cluster.Transport
+	// ChanTransport is the in-process transport: hundreds of workers as
+	// goroutines, no sockets, and injectable per-direction channel faults.
+	ChanTransport = cluster.ChanTransport
+	// TCPTransport is the real-network transport.
+	TCPTransport = cluster.TCPTransport
+	// FaultConfig configures adversarial faults on a ChanTransport link.
+	FaultConfig = cluster.FaultConfig
+	// WorkerRunResult summarizes one cluster worker's run (JoinSpec).
+	WorkerRunResult = cluster.WorkerResult
+)
+
+// Spec construction and execution helpers.
+var (
+	// ParseSpec decodes and validates a Spec from JSON (strict: unknown
+	// fields are rejected).
+	ParseSpec = spec.Parse
+	// LoadSpec reads and validates a Spec from a JSON file.
+	LoadSpec = spec.Load
+
+	// LoadRunState reads a resumable snapshot written via WithCheckpointFile.
+	LoadRunState = checkpoint.LoadRunState
+
+	// Run options.
+	WithObserver       = spec.WithObserver
+	WithParallel       = spec.WithParallel
+	WithDatasets       = spec.WithDatasets
+	WithInitParams     = spec.WithInitParams
+	WithCheckpointFile = spec.WithCheckpointFile
+	WithResume         = spec.WithResume
+	WithResumeFile     = spec.WithResumeFile
+	WithTransport      = spec.WithTransport
+	WithAddr           = spec.WithAddr
+	WithRoundTimeout   = spec.WithRoundTimeout
+	WithMaxFrameBytes  = spec.WithMaxFrameBytes
+	WithLogf           = spec.WithLogf
+
+	// Observer sinks.
+	NewHistorySink  = spec.NewHistorySink
+	NewJSONLSink    = spec.NewJSONLSink
+	NewProgressSink = spec.NewProgressSink
+
+	// NewChanTransport returns an in-process cluster transport; servers and
+	// the workers that should reach them share one instance.
+	NewChanTransport = cluster.NewChanTransport
+
+	// ServeSpec runs only the parameter-server half of a Spec (for
+	// cmd/dpbyz-server); workers join from their own processes via JoinSpec.
+	ServeSpec = spec.ServeSpec
+	// JoinSpec runs only one worker's half of a Spec (for cmd/dpbyz-worker).
+	JoinSpec = spec.JoinSpec
+
+	// MechanismNames lists the registered DP mechanism names a
+	// MechanismSpec may reference.
+	MechanismNames = dp.Names
+)
+
+// Run executes the spec on the local backend — the shortest path from a
+// Spec to a Result. Use a Backend value directly to choose where it runs.
+func Run(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
+	return (&LocalBackend{}).Run(ctx, s, opts...)
+}
