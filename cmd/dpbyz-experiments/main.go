@@ -6,9 +6,11 @@
 //
 // Experiments: fig2, fig3, fig4 (loss/accuracy grids at b = 50/10/500),
 // table1 (VN-condition thresholds across model sizes), thm1 (error rate vs
-// model dimension), epssweep (the full version's ε sweep) and spec (any
-// JSON run spec — the same file dpbyz-train and the cluster binaries
-// consume — repeated across seeds and aggregated like a grid cell).
+// model dimension), epssweep (the full version's ε sweep), hetsweep (the
+// heterogeneity sweep: Dirichlet label-skew β × aggregation rule under
+// attack with DP on) and spec (any JSON run spec — the same file
+// dpbyz-train and the cluster binaries consume — repeated across seeds and
+// aggregated like a grid cell).
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|vnempirical|crossover|spec")
+		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|hetsweep|vnempirical|crossover|spec")
 		specPath = flag.String("spec", "", "JSON run-spec file for -exp spec: the spec is repeated across -seeds and aggregated like a grid cell")
 		smoke    = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
 		steps    = flag.Int("steps", 0, "override step count (0 = experiment default)")
@@ -186,6 +188,24 @@ func run() error {
 		if err := experiments.WriteEpsilonSweepReport(os.Stdout, points); err != nil {
 			return err
 		}
+	}
+
+	if want("hetsweep") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running hetsweep...")
+		points, err := experiments.RunHeterogeneitySweep(ctx, experiments.HeterogeneitySweepSpec{
+			GARNames: []string{"mda", "trimmedmean"},
+			Scale:    scale,
+			Sched:    sched("hetsweep"),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Heterogeneity sweep (Dirichlet beta, alie attack, DP on)")
+		if err := experiments.WriteHeterogeneitySweepReport(os.Stdout, points); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 
 	if want("spec") && *specPath != "" {

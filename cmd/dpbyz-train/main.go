@@ -56,6 +56,10 @@ func run() error {
 		epsilon   = flag.Float64("eps", 0.2, "per-step privacy epsilon")
 		delta     = flag.Float64("delta", 1e-6, "per-step privacy delta")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		partName  = flag.String("partition", "", "dataset partitioner: iid|dirichlet|shard|quantity (empty = IID, every worker samples the full split)")
+		partBeta  = flag.Float64("beta", 0, "Dirichlet concentration for -partition dirichlet (0 = default)")
+		partShard = flag.Int("shards", 0, "label-sorted shards per worker for -partition shard (0 = default)")
+		partAlpha = flag.Float64("alpha", 0, "power-law exponent for -partition quantity (0 = default)")
 		dsSize    = flag.Int("dataset", 11055, "synthetic dataset size")
 		features  = flag.Int("features", 68, "feature dimension")
 		libsvm    = flag.String("libsvm", "", "optional LIBSVM file to train on instead of synthetic data")
@@ -73,8 +77,9 @@ func run() error {
 
 	if *list {
 		fmt.Println("GARs:      ", dpbyz.GARNames())
-		fmt.Println("attacks:   ", dpbyz.AttackNames())
+		fmt.Println("attacks:   ", dpbyz.AttackNames(), "(adaptive:", dpbyz.AdaptiveAttackNames(), ")")
 		fmt.Println("mechanisms:", dpbyz.MechanismNames())
+		fmt.Println("partitions:", dpbyz.PartitionNames())
 		return nil
 	}
 
@@ -117,6 +122,11 @@ func run() error {
 		}
 		if *dpOn {
 			s.Mechanism = &dpbyz.MechanismSpec{Name: *mechName, Epsilon: *epsilon, Delta: *delta}
+		}
+		if *partName != "" {
+			s.Partition = &dpbyz.PartitionSpec{
+				Name: *partName, Beta: *partBeta, Shards: *partShard, Alpha: *partAlpha,
+			}
 		}
 	}
 	if *dumpSpec {

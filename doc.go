@@ -60,6 +60,46 @@
 // WithResumeFile continues an interrupted run — on the local backend the
 // resumed trajectory is bit-identical to the uninterrupted one.
 //
+// # Scenario matrix: heterogeneous data and adaptive attacks
+//
+// Beyond the paper's IID-data, stateless-attack setting, two further Spec
+// axes open the regimes where the (α, f)-resilience conditions are most
+// fragile:
+//
+//   - Partition (PartitionSpec) distributes the training split across the
+//     workers with a deterministic partitioner from internal/partition:
+//     "iid" (the default — every worker samples the full split), "dirichlet"
+//     (label skew with concentration Beta; smaller is more heterogeneous),
+//     "shard" (sort-by-label shards, Shards per worker) and "quantity"
+//     (power-law sample counts with exponent Alpha). Partitions are a pure
+//     function of (Spec, seed): the local backend, an in-process cluster and
+//     JoinSpec workers in other processes all compute identical per-worker
+//     shards with no data shipped.
+//
+//   - Stateful attacks: besides the stateless registry ("alie", "foe",
+//     "signflip", "zero", "mimic", "randomnoise"), AttackSpec accepts the
+//     adaptive "ipm" (a GAR-aware inner-product maximizer that line-searches
+//     its factor against the server's actual rule each step) and "drift"
+//     (accumulates past aggregates and pushes persistently against the
+//     descent history). Adaptive attacks observe every completed round and
+//     their mutable state rides through local-backend checkpoints, so
+//     interrupted LocalBackend runs resume bit-identically (cluster
+//     snapshots carry only server-side state — worker-local attack state,
+//     like every other worker-local buffer there, restarts on resume).
+//
+// Both axes serialize like everything else:
+//
+//	s.Partition = &dpbyz.PartitionSpec{Name: "dirichlet", Beta: 0.3}
+//	s.Attack = &dpbyz.AttackSpec{Name: "ipm"}
+//
+// and sweep from the experiment layer: RunHeterogeneitySweep (CLI:
+// dpbyz-experiments -exp hetsweep) measures accuracy versus Dirichlet β per
+// aggregation rule, bit-identical at every scheduler parallelism, and
+// examples/heterogeneity walks the same sweep as a program. The GAR registry
+// itself is guarded by a property battery (internal/gar property tests):
+// permutation invariance, translation equivariance, single-outlier clipping
+// and an empirical (α, f) check on crafted adversarial inputs.
+//
 // # Migrating from Train
 //
 // The pre-Spec entry point Train(ctx, TrainConfig) still works but is

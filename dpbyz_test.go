@@ -77,8 +77,14 @@ func TestRegistriesExposed(t *testing.T) {
 	if len(dpbyz.ResilientGARNames()) != 10 {
 		t.Errorf("ResilientGARNames = %v", dpbyz.ResilientGARNames())
 	}
-	if len(dpbyz.AttackNames()) != 6 {
+	if len(dpbyz.AttackNames()) != 8 {
 		t.Errorf("AttackNames = %v", dpbyz.AttackNames())
+	}
+	if len(dpbyz.AdaptiveAttackNames()) != 2 {
+		t.Errorf("AdaptiveAttackNames = %v", dpbyz.AdaptiveAttackNames())
+	}
+	if len(dpbyz.PartitionNames()) != 4 {
+		t.Errorf("PartitionNames = %v", dpbyz.PartitionNames())
 	}
 }
 

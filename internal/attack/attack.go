@@ -7,6 +7,13 @@
 // step they observe the honest gradient distribution (mean g_t and
 // coordinate-wise std σ_t) and every Byzantine worker submits the SAME
 // crafted vector g_t + ν·a_t.
+//
+// Beyond the paper's stateless attacks, the package defines the stateful
+// AdaptiveAttack interface (Observe each round's aggregate, then Craft) with
+// two concrete state-aware attackers — the GAR-aware inner-product maximizer
+// IPM, which line-searches its factor against the server's known rule, and
+// DriftAttack, which accumulates past aggregates into a persistent push
+// direction. Stateless attacks join the same execution paths through Adapt.
 package attack
 
 import (
@@ -184,6 +191,8 @@ var registry = map[string]func() Attack{
 	"signflip": func() Attack { return NewSignFlip() },
 	"zero":     func() Attack { return NewZero() },
 	"mimic":    func() Attack { return NewMimic() },
+	"ipm":      func() Attack { return NewIPM() },
+	"drift":    func() Attack { return NewDrift() },
 	"randomnoise": func() Attack {
 		a, err := NewRandomNoise(1)
 		if err != nil {

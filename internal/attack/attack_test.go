@@ -154,7 +154,7 @@ func TestEmptyHonestErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 6 {
+	if len(names) != 8 {
 		t.Fatalf("registry has %d attacks: %v", len(names), names)
 	}
 	for i := 1; i < len(names); i++ {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"dpbyz/internal/attack"
 	"dpbyz/internal/randx"
 )
 
@@ -49,6 +50,10 @@ type RunState struct {
 	Velocity []float64 `json:"velocity,omitempty"`
 	// AttackRng is the shared attack stream position (local backend only).
 	AttackRng *randx.StreamState `json:"attackRng,omitempty"`
+	// Attack is the adaptive attack's mutable state (absent for stateless
+	// attacks and unattacked runs); restoring it makes the resumed attacker's
+	// Craft sequence bit-identical to the uninterrupted run's.
+	Attack *attack.State `json:"attack,omitempty"`
 	// Workers holds the per-worker resumable state (local backend only; the
 	// networked backend's workers own their state in their own processes).
 	Workers []WorkerRunState `json:"workers,omitempty"`
@@ -74,6 +79,10 @@ func (s *RunState) Validate() error {
 	if s.Velocity != nil && len(s.Velocity) != len(s.Params) {
 		return fmt.Errorf("checkpoint: velocity dim %d, params dim %d",
 			len(s.Velocity), len(s.Params))
+	}
+	if s.Attack != nil && s.Attack.Drift != nil && len(s.Attack.Drift) != len(s.Params) {
+		return fmt.Errorf("checkpoint: attack drift dim %d, params dim %d",
+			len(s.Attack.Drift), len(s.Params))
 	}
 	for i, w := range s.Workers {
 		if w.Momentum != nil && len(w.Momentum) != len(s.Params) {

@@ -51,8 +51,15 @@ type WorkerConfig struct {
 	// Attack, when non-nil, makes this worker Byzantine: each round it
 	// crafts its submission from its own honest gradient estimate. Unlike
 	// the simulator's omniscient attacker, a networked Byzantine worker
-	// only observes its own data.
+	// only observes its own data. Stateful attacks (attack.AdaptiveAttack)
+	// observe an estimate of each round's aggregate recovered from
+	// successive parameter broadcasts; do not share one attack instance
+	// across workers — Craft mutates attack-local state.
 	Attack attack.Attack
+	// LearningRate, when positive, lets an adaptive attack rescale observed
+	// parameter deltas back to gradient magnitude ((w_t − w_{t+1})/γ); zero
+	// feeds the attack raw deltas, which only changes the observed scale.
+	LearningRate float64
 	// Seed drives batch sampling and noise.
 	Seed uint64
 	// DialTimeout bounds the initial connection (default 5s).
@@ -161,6 +168,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 	if cfg.Momentum > 0 {
 		momentum = make([]float64, cfg.Model.Dim())
 	}
+	// A stateful Byzantine worker reconstructs the server's aggregate
+	// direction from successive parameter broadcasts: the observed delta
+	// (w_t − w_{t+1})/γ is the momentum-filtered aggregate — exactly the
+	// signal a real state-aware attacker has in the networked threat model.
+	var adaptive attack.AdaptiveAttack
+	var prevParams, aggEstimate []float64
+	var honestView [][]float64
+	if aa, ok := cfg.Attack.(attack.AdaptiveAttack); ok {
+		adaptive = aa
+		prevParams = make([]float64, cfg.Model.Dim())
+		aggEstimate = make([]float64, cfg.Model.Dim())
+		honestView = [][]float64{grad}
+	}
 
 	res := &WorkerResult{}
 	for {
@@ -185,6 +205,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		copy(res.FinalParams, params.Weights)
 		if params.Done {
 			return res, nil
+		}
+		if adaptive != nil {
+			if res.Rounds > 0 {
+				invLR := 1.0
+				if cfg.LearningRate > 0 {
+					invLR = 1 / cfg.LearningRate
+				}
+				for j := range aggEstimate {
+					aggEstimate[j] = (prevParams[j] - params.Weights[j]) * invLR
+				}
+				adaptive.Observe(params.Step-1, aggEstimate, honestView)
+			}
+			copy(prevParams, params.Weights)
 		}
 
 		if cfg.RoundDelay > 0 {

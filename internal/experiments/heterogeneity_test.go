@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The heterogeneity sweep inherits the scheduler determinism contract: the
+// same grid must come out BIT-IDENTICAL at every Workers setting.
+func TestHeterogeneitySweepSchedulerBitIdentical(t *testing.T) {
+	run := func(workers int) []HeterogeneityPoint {
+		points, err := RunHeterogeneitySweep(context.Background(), HeterogeneitySweepSpec{
+			Betas:    []float64{0.2, 5},
+			GARNames: []string{"mda", "trimmedmean"},
+			Scale:    schedScale(),
+			Sched:    Sched{Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return points
+	}
+	if serial, par := run(1), run(4); !reflect.DeepEqual(serial, par) {
+		t.Fatal("heterogeneity sweep differs between serial and parallel scheduling")
+	}
+}
+
+// The sweep's grid covers every (gar, beta) pair in declaration order and
+// aggregates real trajectories (finite losses, accuracy measured).
+func TestHeterogeneitySweepGrid(t *testing.T) {
+	betas := []float64{0.3, 2}
+	gars := []string{"trimmedmean", "mda"}
+	points, err := RunHeterogeneitySweep(context.Background(), HeterogeneitySweepSpec{
+		Betas:    betas,
+		GARNames: gars,
+		Scale:    schedScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(betas)*len(gars) {
+		t.Fatalf("%d points for a %dx%d grid", len(points), len(gars), len(betas))
+	}
+	i := 0
+	for _, g := range gars {
+		for _, b := range betas {
+			p := points[i]
+			i++
+			if p.GAR != g || p.Beta != b {
+				t.Errorf("point %d is (%s, %v), want (%s, %v)", i-1, p.GAR, p.Beta, g, b)
+			}
+			if p.MinLossMean <= 0 || p.MinLossMean > 10 {
+				t.Errorf("point %d min loss %v implausible", i-1, p.MinLossMean)
+			}
+			if p.FinalAccMean < 0 || p.FinalAccMean > 1 {
+				t.Errorf("point %d accuracy %v outside [0, 1]", i-1, p.FinalAccMean)
+			}
+		}
+	}
+}
+
+// Every heterogeneity cell is a plain serializable Spec carrying the
+// Dirichlet partition, so any cell can be replayed on any backend.
+func TestHeteroCellSpecIsPortable(t *testing.T) {
+	sw := HeterogeneitySweepSpec{
+		BatchSize:  50,
+		AttackName: "drift",
+		Epsilon:    PaperEpsilon,
+		Scale:      schedScale(),
+	}
+	s := heteroCellSpec(sw, "trimmedmean", 0.3, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("hetsweep cell spec invalid: %v", err)
+	}
+	if s.Partition == nil || s.Partition.Name != "dirichlet" || s.Partition.Beta != 0.3 {
+		t.Errorf("cell partition %+v", s.Partition)
+	}
+	if s.Attack == nil || s.Attack.Name != "drift" {
+		t.Errorf("cell attack %+v", s.Attack)
+	}
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"partition"`) {
+		t.Error("serialized cell spec lost the partition field")
+	}
+}

@@ -100,6 +100,21 @@ func WriteEpsilonSweepReport(w io.Writer, points []EpsilonPoint) error {
 	return nil
 }
 
+// WriteHeterogeneitySweepReport renders the Dirichlet-β heterogeneity sweep.
+func WriteHeterogeneitySweepReport(w io.Writer, points []HeterogeneityPoint) error {
+	if _, err := fmt.Fprintf(w, "%-14s %-8s %12s %14s %12s\n",
+		"gar", "beta", "min-loss", "final-acc", "acc-std"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-14s %-8.3g %12.5f %14.4f %12.4f\n",
+			p.GAR, p.Beta, p.MinLossMean, p.FinalAccMean, p.FinalAccStd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Summary produces a one-line qualitative verdict for a figure, used in
 // logs: which conditions converged and which did not, judged against the
 // unattacked clear baseline.

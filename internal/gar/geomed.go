@@ -3,6 +3,7 @@ package gar
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dpbyz/internal/vecmath"
 )
@@ -73,13 +74,17 @@ func (g *GeoMed) AggregateInto(dst []float64, grads [][]float64) error {
 	}
 	// Convergence is judged relative to the data spread so the rule stays
 	// scale-equivariant: the same inputs scaled by c converge to the same
-	// (scaled) point.
-	var spread float64
-	for _, x := range grads {
-		if d := vecmath.SqDist(x, y); d > spread {
-			spread = d
-		}
+	// (scaled) point. The spread must be a ROBUST statistic — the median of
+	// the squared distances to the initial iterate, not the maximum: a single
+	// unbounded Byzantine submission would otherwise inflate the smoothing
+	// floor until the Weiszfeld weights linearize and the outlier re-enters
+	// the aggregate like a mean term (caught by the GAR property battery).
+	dists := grow(&s.scores, len(grads))
+	for i, x := range grads {
+		dists[i] = vecmath.SqDist(x, y)
 	}
+	sort.Float64s(dists)
+	spread := vecmath.MedianSorted(dists)
 	tol := g.Tol * (1 + math.Sqrt(spread))
 	// The Weiszfeld smoothing term is likewise scaled so iterates of c-scaled
 	// inputs are exactly c times the original iterates.

@@ -45,6 +45,22 @@ func krumScoresInto(s *scratch, grads [][]float64, f int) []float64 {
 	return scores
 }
 
+// lexLess reports whether gradient a precedes b lexicographically. The
+// Krum-family selections use it to break EXACT score ties: mutual nearest
+// neighbours (and colluding Byzantine workers, who submit identical vectors)
+// produce exactly equal scores, and breaking such ties by input position
+// would make the rules depend on which worker sat in which slot. Comparing
+// values keeps the selection a pure function of the gradient multiset
+// (permutation invariance, enforced by the property battery).
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // Krum is the rule of Blanchard et al. (2017): it outputs the single
 // gradient with the smallest Krum score. It requires n > 2f + 2 and the
 // paper lists k_F(n, f) = 1/√(2η(n, f)).
@@ -96,7 +112,7 @@ func (k *Krum) AggregateInto(dst []float64, grads [][]float64) error {
 	scores := krumScoresInto(s, grads, k.f)
 	best := 0
 	for i, sc := range scores {
-		if sc < scores[best] {
+		if sc < scores[best] || (sc == scores[best] && lexLess(grads[i], grads[best])) {
 			best = i
 		}
 	}
@@ -164,11 +180,11 @@ func (mk *MultiKrum) AggregateInto(dst []float64, grads [][]float64) error {
 }
 
 // selectByScore fills out with the len(out) gradients carrying the smallest
-// scores, using idx (len(grads)) as index scratch. Ties break toward the
-// lower original index (compared explicitly, since selection-sort swaps
-// shuffle positions), so the selection is deterministic regardless of the
-// scratch's prior contents. Partial selection sort: m and n are both small
-// (tens).
+// scores, using idx (len(grads)) as index scratch. Exact score ties break
+// lexicographically on the gradient values (see lexLess), so the selection
+// is a pure function of the gradient multiset — deterministic regardless of
+// worker order and of the scratch's prior contents. Partial selection sort:
+// m and n are both small (tens).
 func selectByScore(out [][]float64, idx []int, grads [][]float64, scores []float64) [][]float64 {
 	n := len(grads)
 	for i := range idx {
@@ -179,7 +195,7 @@ func selectByScore(out [][]float64, idx []int, grads [][]float64, scores []float
 		best := a
 		for b := a + 1; b < n; b++ {
 			if scores[idx[b]] < scores[idx[best]] ||
-				(scores[idx[b]] == scores[idx[best]] && idx[b] < idx[best]) {
+				(scores[idx[b]] == scores[idx[best]] && lexLess(grads[idx[b]], grads[idx[best]])) {
 				best = b
 			}
 		}
@@ -256,14 +272,15 @@ func (b *Bulyan) AggregateInto(dst []float64, grads [][]float64) error {
 			scores := krumScoresInto(s, remaining, b.f)
 			pick = 0
 			for i, sc := range scores {
-				if sc < scores[pick] {
+				if sc < scores[pick] || (sc == scores[pick] && lexLess(remaining[i], remaining[pick])) {
 					pick = i
 				}
 			}
 		} else {
 			pick = 0
 			for i := 1; i < len(remaining); i++ {
-				if vecmath.SqNorm(remaining[i]) < vecmath.SqNorm(remaining[pick]) {
+				ni, np := vecmath.SqNorm(remaining[i]), vecmath.SqNorm(remaining[pick])
+				if ni < np || (ni == np && lexLess(remaining[i], remaining[pick])) {
 					pick = i
 				}
 			}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"math"
+
+	"dpbyz/internal/data"
+	"dpbyz/internal/randx"
+)
+
+// Dirichlet is the label-skew partition of Hsu et al. (2019): for every
+// label class, worker proportions are drawn from Dirichlet(β,...,β) and the
+// class's points are dealt to workers according to those proportions. β → 0
+// concentrates each class on a single worker; β → ∞ recovers balanced IID
+// class composition. The assignment covers every point exactly once and
+// every worker receives at least one point.
+type Dirichlet struct{}
+
+var _ Partitioner = Dirichlet{}
+
+// Name implements Partitioner.
+func (Dirichlet) Name() string { return "dirichlet" }
+
+// Partition implements Partitioner.
+func (Dirichlet) Partition(ds *data.Dataset, p Params) ([][]int, error) {
+	if err := checkArgs(ds, p, true); err != nil {
+		return nil, err
+	}
+	beta := p.Beta
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	rng := stream(p.Seed, saltDirichlet)
+	assign := make([][]int, p.Workers)
+	weights := make([]float64, p.Workers)
+	perm := make([]int, 0, ds.Len())
+	for class, group := range labelGroups(ds) {
+		// Per-class streams keep the draw sequence independent of how many
+		// points the other classes hold.
+		crng := rng.Derive(saltClass, uint64(class))
+		dirichletVec(crng, beta, weights)
+		// Shuffle the class's points, then deal contiguous runs sized by the
+		// largest-remainder apportionment of the drawn proportions.
+		perm = perm[:0]
+		perm = append(perm, group...)
+		shuffle(crng, perm)
+		counts := apportion(len(perm), weights)
+		next := perm
+		for w, c := range counts {
+			assign[w] = append(assign[w], next[:c]...)
+			next = next[c:]
+		}
+	}
+	repairEmpty(assign)
+	return assign, nil
+}
+
+// dirichletVec fills dst with one Dirichlet(beta,...,beta) draw via
+// normalized Gamma(beta) variates.
+func dirichletVec(rng *randx.Stream, beta float64, dst []float64) {
+	var sum float64
+	for i := range dst {
+		g := gamma(rng, beta)
+		dst[i] = g
+		sum += g
+	}
+	if sum <= 0 {
+		// All draws underflowed to zero (tiny beta): degenerate to a single
+		// deterministic winner so the apportionment still has mass.
+		dst[rng.Intn(len(dst))] = 1
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// gamma draws one Gamma(shape, 1) variate with the Marsaglia–Tsang (2000)
+// squeeze method; shapes below one use the boost Gamma(a) =
+// Gamma(a+1)·U^(1/a).
+func gamma(rng *randx.Stream, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// shuffle applies a Fisher–Yates shuffle driven by rng.
+func shuffle(rng *randx.Stream, idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}

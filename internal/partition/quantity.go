@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"math"
+
+	"dpbyz/internal/data"
+)
+
+// Quantity is the quantity-skew partition: worker i's sample count is
+// proportional to (i+1)^(−α) over a seeded global shuffle of the points, so
+// label composition stays IID while dataset sizes follow a power law —
+// worker 0 data-rich, the tail data-poor. Larger α is more imbalanced;
+// α ≤ 0 (the unset Spec value) selects DefaultAlpha. Every worker receives
+// at least one point.
+type Quantity struct{}
+
+var _ Partitioner = Quantity{}
+
+// Name implements Partitioner.
+func (Quantity) Name() string { return "quantity" }
+
+// Partition implements Partitioner.
+func (Quantity) Partition(ds *data.Dataset, p Params) ([][]int, error) {
+	if err := checkArgs(ds, p, true); err != nil {
+		return nil, err
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	weights := make([]float64, p.Workers)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -alpha)
+	}
+	counts := apportion(ds.Len(), weights)
+	perm := stream(p.Seed, saltQuantity).Perm(ds.Len())
+	assign := make([][]int, p.Workers)
+	rest := perm
+	for w, c := range counts {
+		assign[w] = rest[:c:c]
+		rest = rest[c:]
+	}
+	repairEmpty(assign)
+	return assign, nil
+}

@@ -1,0 +1,58 @@
+package partition
+
+import (
+	"fmt"
+
+	"dpbyz/internal/data"
+)
+
+// Shard is the pathological non-IID split of McMahan et al. (2017): the
+// dataset sorted by label is cut into Shards·workers contiguous shards and
+// every worker is dealt Shards of them at random. With Shards = 1 and binary
+// labels most workers see a single class; larger Shards interpolates toward
+// IID class composition while keeping sizes balanced.
+type Shard struct{}
+
+var _ Partitioner = Shard{}
+
+// Name implements Partitioner.
+func (Shard) Name() string { return "shard" }
+
+// Partition implements Partitioner.
+func (Shard) Partition(ds *data.Dataset, p Params) ([][]int, error) {
+	if err := checkArgs(ds, p, true); err != nil {
+		return nil, err
+	}
+	perWorker := p.Shards
+	if perWorker <= 0 {
+		perWorker = DefaultShards
+	}
+	total := perWorker * p.Workers
+	if total > ds.Len() {
+		return nil, fmt.Errorf("%w: %d points cannot fill %d shards (%d workers × %d shards)",
+			ErrTooFewPoints, ds.Len(), total, p.Workers, perWorker)
+	}
+	sorted := sortedByLabel(ds)
+	// Cut into near-equal contiguous shards, then deal them by a seeded
+	// permutation: worker w receives shards perm[w·k : (w+1)·k].
+	shards := make([][]int, 0, total)
+	rest := sorted
+	for _, c := range cutCounts(len(sorted), total) {
+		shards = append(shards, rest[:c])
+		rest = rest[c:]
+	}
+	perm := stream(p.Seed, saltShard).Perm(total)
+	assign := make([][]int, p.Workers)
+	for w := 0; w < p.Workers; w++ {
+		var size int
+		for _, s := range perm[w*perWorker : (w+1)*perWorker] {
+			size += len(shards[s])
+		}
+		idx := make([]int, 0, size)
+		for _, s := range perm[w*perWorker : (w+1)*perWorker] {
+			idx = append(idx, shards[s]...)
+		}
+		assign[w] = idx
+	}
+	return assign, nil
+}

@@ -6,7 +6,11 @@
 // Honest workers follow §2.3 exactly: sample a batch, compute the gradient,
 // clip it to G_max (Assumption 1) and inject DP noise (Eq. 7) before
 // submission. Byzantine workers collude and all submit the same attack
-// vector crafted from the honest submissions of the step.
+// vector crafted from the honest submissions of the step; stateful attackers
+// (attack.AdaptiveAttack) additionally observe each round's accepted
+// aggregate. Workers sample one shared training set by default, or — with
+// Config.WorkerTrain, built by internal/partition — worker-local non-IID
+// shards.
 //
 // The simulation is deterministic in Config.Seed: every worker derives an
 // independent randomness stream, so worker goroutines can run concurrently
@@ -53,6 +57,13 @@ type Config struct {
 	Model model.Model
 	// Train is the training dataset the honest workers sample from.
 	Train *data.Dataset
+	// WorkerTrain, when non-nil, gives worker i its own training dataset
+	// (heterogeneous/non-IID data, built by internal/partition): it must hold
+	// exactly GAR.N() non-nil datasets of Train's dimension, and worker i's
+	// batches come from WorkerTrain[i] instead of the shared Train. Loss
+	// metrics still average over the honest workers' own batches, so the
+	// recorded loss is the heterogeneous population loss.
+	WorkerTrain []*data.Dataset
 	// Test is the held-out dataset for cross-accuracy; may be nil.
 	Test *data.Dataset
 	// GAR is the server's aggregation rule; its N() fixes the worker count
@@ -208,6 +219,21 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("simulate: test dim %d != train dim %d",
 			c.Test.Dim(), c.Train.Dim())
 	}
+	if c.WorkerTrain != nil {
+		if len(c.WorkerTrain) != c.GAR.N() {
+			return fmt.Errorf("simulate: %d worker datasets for %d workers",
+				len(c.WorkerTrain), c.GAR.N())
+		}
+		for i, ds := range c.WorkerTrain {
+			if ds == nil || ds.Len() == 0 {
+				return fmt.Errorf("simulate: worker %d has an empty dataset", i)
+			}
+			if ds.Dim() != c.Train.Dim() {
+				return fmt.Errorf("simulate: worker %d dataset dim %d != train dim %d",
+					i, ds.Dim(), c.Train.Dim())
+			}
+		}
+	}
 	if c.InitParams != nil && len(c.InitParams) != c.Model.Dim() {
 		return fmt.Errorf("simulate: init params dim %d, want %d",
 			len(c.InitParams), c.Model.Dim())
@@ -251,6 +277,7 @@ type runner struct {
 	start       int
 	workers     []*worker
 	attackRng   *randx.Stream
+	adaptive    attack.AdaptiveAttack
 	w           []float64
 	velocity    []float64
 	agg         []float64
@@ -283,7 +310,11 @@ func newRunner(cfg Config) (*runner, error) {
 		honest:      make([][]float64, 0, n),
 	}
 	for i := range r.workers {
-		b, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(purposeBatch, uint64(i)))
+		train := cfg.Train
+		if cfg.WorkerTrain != nil {
+			train = cfg.WorkerTrain[i]
+		}
+		b, err := data.NewBatcher(train, cfg.BatchSize, root.Derive(purposeBatch, uint64(i)))
 		if err != nil {
 			return nil, fmt.Errorf("simulate: worker %d batcher: %w", i, err)
 		}
@@ -306,6 +337,15 @@ func newRunner(cfg Config) (*runner, error) {
 	// runs keep all n workers honest).
 	if cfg.Attack != nil {
 		r.computeFrom = r.f
+		// Stateful attackers observe every completed round; GAR-aware ones
+		// additionally get the server's rule to line-search against (the
+		// omniscient threat model of the simulator).
+		if aa, ok := cfg.Attack.(attack.AdaptiveAttack); ok {
+			r.adaptive = aa
+		}
+		if ga, ok := cfg.Attack.(attack.GARAware); ok {
+			ga.SetGAR(cfg.GAR)
+		}
 	}
 	r.predictor, _ = cfg.Model.(model.Predictor)
 	if cfg.Resume != nil {
@@ -332,6 +372,10 @@ func (r *runner) snapshot(stepsDone int) *checkpoint.RunState {
 	}
 	ar := r.attackRng.State()
 	st.AttackRng = &ar
+	if r.adaptive != nil {
+		as := r.adaptive.State()
+		st.Attack = &as
+	}
 	for i, wk := range r.workers {
 		ws := checkpoint.WorkerRunState{
 			Batch: wk.batcher.RNGState(),
@@ -372,6 +416,20 @@ func (r *runner) restore(st *checkpoint.RunState) error {
 	}
 	if st.AttackRng != nil {
 		r.attackRng.SetState(*st.AttackRng)
+	}
+	if st.Attack != nil {
+		if r.adaptive == nil {
+			return errors.New("simulate: resume has adaptive attack state but the configured attack is stateless")
+		}
+		if err := r.adaptive.SetState(*st.Attack); err != nil {
+			return fmt.Errorf("simulate: resume attack state: %w", err)
+		}
+	} else if r.adaptive != nil && st.Step > 0 {
+		// The converse mismatch: every mid-run snapshot of an adaptive run
+		// carries attack state, so its absence means the snapshot belongs to
+		// a different scenario (or was truncated) — resuming would silently
+		// reset the attacker and break bit-identity.
+		return errors.New("simulate: adaptive attack configured but the snapshot carries no attack state")
 	}
 	for i, ws := range st.Workers {
 		wk := r.workers[i]
@@ -492,6 +550,12 @@ func (r *runner) step(step int) error {
 
 	if err := gar.AggregateInto(cfg.GAR, r.agg, r.submissions); err != nil {
 		return fmt.Errorf("simulate: step %d aggregate: %w", step, err)
+	}
+	// Stateful attackers observe the completed round: the accepted aggregate
+	// and the honest submissions it was crafted against. The nil check is the
+	// only cost for stateless runs, preserving the zero-allocation gate.
+	if r.adaptive != nil {
+		r.adaptive.Observe(step, r.agg, r.honest)
 	}
 
 	// Server update with momentum: v ← m·v + G, w ← w − γ_t·v.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dpbyz/internal/attack"
 	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/cluster"
 	"dpbyz/internal/metrics"
@@ -55,25 +56,38 @@ func serverConfig(s *Spec, o *runOptions, dim int, initParams []float64) cluster
 
 // workerConfig translates the Spec's worker half for worker id. The first
 // GAR.F workers are the Byzantine ones, matching the simulator's layout.
-func workerConfig(s *Spec, o *runOptions, m *materialized, id int, addr string) cluster.WorkerConfig {
+func workerConfig(s *Spec, o *runOptions, m *materialized, id int, addr string) (cluster.WorkerConfig, error) {
 	cfg := cluster.WorkerConfig{
 		Addr:              addr,
 		Transport:         o.transport,
 		MaxFrameBytes:     o.maxFrameBytes,
 		WorkerID:          id,
 		Model:             m.model,
-		Train:             m.train,
+		Train:             m.trainFor(id),
 		BatchSize:         s.BatchSize,
 		ClipNorm:          s.ClipNorm,
 		Mechanism:         m.mech,
 		Momentum:          s.WorkerMomentum,
 		MomentumPostNoise: s.MomentumPostNoise,
 		Seed:              s.Seed,
+		LearningRate:      s.LearningRate,
 	}
 	if s.Attack != nil && id < s.GAR.F {
-		cfg.Attack = m.attack
+		// Every Byzantine worker gets its own attack instance: adaptive
+		// attacks carry per-worker mutable state that must not be shared
+		// across worker goroutines. Construction cannot fail for a validated
+		// Spec, but a failure must surface rather than silently fall back to
+		// a shared (and then racy) instance.
+		a, err := attack.New(s.Attack.Name)
+		if err != nil {
+			return cluster.WorkerConfig{}, fmt.Errorf("spec: worker %d attack: %w", id, err)
+		}
+		if ga, ok := a.(attack.GARAware); ok {
+			ga.SetGAR(m.gar)
+		}
+		cfg.Attack = a
 	}
-	return cfg
+	return cfg, nil
 }
 
 // attachCheckpointing wires periodic server-side snapshots and resume into
@@ -162,7 +176,18 @@ func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Resu
 		return nil, err
 	}
 
+	// Build every worker config before any worker dials: a config error
+	// (unreachable for a validated Spec, but load-bearing if the registries
+	// ever drift) must fail the run up front, not leave the server waiting
+	// forever for a worker that will never say hello.
 	n := s.GAR.N
+	workerCfgs := make([]cluster.WorkerConfig, n)
+	for i := 0; i < n; i++ {
+		if workerCfgs[i], err = workerConfig(&s, o, m, i, srv.Addr()); err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+	}
 	workerCtx, stopWorkers := context.WithCancel(ctx)
 	defer stopWorkers()
 	rounds := make([]int, n)
@@ -172,7 +197,7 @@ func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Resu
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			res, err := cluster.RunWorker(workerCtx, workerConfig(&s, o, m, id, srv.Addr()))
+			res, err := cluster.RunWorker(workerCtx, workerCfgs[id])
 			if res != nil {
 				rounds[id] = res.Rounds
 			}
@@ -268,5 +293,9 @@ func JoinSpec(ctx context.Context, s Spec, workerID int, opts ...Option) (*clust
 	if addr == "" {
 		addr = "127.0.0.1:7001"
 	}
-	return cluster.RunWorker(ctx, workerConfig(&s, o, m, workerID, addr))
+	cfg, err := workerConfig(&s, o, m, workerID, addr)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunWorker(ctx, cfg)
 }

@@ -34,6 +34,7 @@ func (b *LocalBackend) config(s *Spec, o *runOptions) (simulate.Config, error) {
 	cfg := simulate.Config{
 		Model:             m.model,
 		Train:             m.train,
+		WorkerTrain:       m.workerTrain,
 		Test:              m.test,
 		GAR:               m.gar,
 		Attack:            m.attack,

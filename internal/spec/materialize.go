@@ -9,6 +9,7 @@ import (
 	"dpbyz/internal/dp"
 	"dpbyz/internal/gar"
 	"dpbyz/internal/model"
+	"dpbyz/internal/partition"
 	"dpbyz/internal/randx"
 )
 
@@ -24,11 +25,26 @@ const (
 // execution backend.
 type materialized struct {
 	train, test *data.Dataset
+	// workerTrain holds the per-worker training shards of a partitioned Spec
+	// (nil for the IID default). It is a pure function of (train, partition
+	// spec, seed), so every process materializing the same Spec — local
+	// backend, in-process cluster, or a JoinSpec worker on another machine —
+	// computes identical shards.
+	workerTrain []*data.Dataset
 	model       model.Model
 	gar         gar.GAR
 	attack      attack.Attack
 	mech        dp.Mechanism
 	initParams  []float64
+}
+
+// trainFor returns worker id's training dataset: its partition shard when
+// the Spec is partitioned, the shared training split otherwise.
+func (m *materialized) trainFor(id int) *data.Dataset {
+	if m.workerTrain != nil {
+		return m.workerTrain[id]
+	}
+	return m.train
 }
 
 // buildDatasets generates (or loads) the dataset named by the Spec and
@@ -76,6 +92,33 @@ func (s *Spec) buildDatasets() (train, test *data.Dataset, err error) {
 	return train, test, nil
 }
 
+// buildPartition deals the training split across the Spec's GAR.N workers
+// with the named partitioner. The IID cases — no partition field, or the
+// explicit "iid" name — return nil so every worker keeps sampling the shared
+// training split exactly as unpartitioned runs always have (bit-identical,
+// no per-worker copies).
+func (s *Spec) buildPartition(train *data.Dataset) ([]*data.Dataset, error) {
+	p := s.Partition
+	if p == nil || p.Name == "iid" {
+		return nil, nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = s.Data.seed(s.Seed)
+	}
+	shards, err := partition.Split(p.Name, train, partition.Params{
+		Workers: s.GAR.N,
+		Seed:    seed,
+		Beta:    p.Beta,
+		Shards:  p.Shards,
+		Alpha:   p.Alpha,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("spec: partition: %w", err)
+	}
+	return shards, nil
+}
+
 // buildModel resolves the model name for the given feature dimension and,
 // for MLPs, derives the deterministic initialization from the run seed.
 func (s *Spec) buildModel(f int, dataSeed uint64) (model.Model, []float64, error) {
@@ -121,6 +164,9 @@ func (s *Spec) materialize(o *runOptions) (*materialized, error) {
 		}
 	}
 	var err error
+	if m.workerTrain, err = s.buildPartition(m.train); err != nil {
+		return nil, err
+	}
 	m.model, m.initParams, err = s.buildModel(m.train.Dim(), s.Data.seed(s.Seed))
 	if err != nil {
 		return nil, err
@@ -133,6 +179,9 @@ func (s *Spec) materialize(o *runOptions) (*materialized, error) {
 		return nil, err
 	}
 	if s.Attack != nil {
+		// Rule injection for GAR-aware attacks happens at the consumer: the
+		// simulate runner arms m.attack with its rule, and the cluster path
+		// builds per-worker instances (workerConfig) with their own rule.
 		m.attack, err = attack.New(s.Attack.Name)
 		if err != nil {
 			return nil, err

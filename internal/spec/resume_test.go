@@ -109,6 +109,107 @@ func TestResumeBitIdentical(t *testing.T) {
 	}
 }
 
+// Adaptive attacks carry mutable state (the IPM line-search factor, the
+// drift accumulator) and partitioned runs carry per-worker shards; both must
+// round-trip through RunState so an interrupted heterogeneous + adaptive run
+// resumes bit-identically to the uninterrupted one.
+func TestResumeAdaptiveAttackBitIdentical(t *testing.T) {
+	for _, attackName := range []string{"ipm", "drift"} {
+		t.Run(attackName, func(t *testing.T) {
+			const (
+				steps    = 60
+				every    = 25
+				abortAt  = 34
+				resumeAt = 25
+			)
+			mk := func() Spec {
+				s := resumeSpec(steps)
+				s.Attack = &AttackSpec{Name: attackName}
+				s.Partition = &PartitionSpec{Name: "dirichlet", Beta: 0.3}
+				return s
+			}
+			ctx := context.Background()
+			be := &LocalBackend{}
+
+			full, err := be.Run(ctx, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "snap.json")
+			_, err = be.Run(ctx, mk(),
+				WithCheckpointFile(path, every),
+				WithObserver(&abortAfter{step: abortAt}))
+			if !errors.Is(err, errAborted) {
+				t.Fatalf("interrupted run returned %v, want the observer's abort", err)
+			}
+			st, err := checkpoint.LoadRunState(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Step != resumeAt {
+				t.Fatalf("snapshot at step %d, want %d", st.Step, resumeAt)
+			}
+			if st.Attack == nil {
+				t.Fatal("snapshot carries no adaptive attack state")
+			}
+			if attackName == "drift" && st.Attack.Drift == nil {
+				t.Error("drift snapshot has no accumulated drift vector")
+			}
+			if attackName == "ipm" && st.Attack.Gain == 0 {
+				t.Error("ipm snapshot has no line-search factor")
+			}
+
+			resumed, err := be.Run(ctx, mk(), WithResumeFile(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range full.Params {
+				if resumed.Params[i] != full.Params[i] {
+					t.Fatalf("param %d: resumed %v != uninterrupted %v (adaptive state lost)",
+						i, resumed.Params[i], full.Params[i])
+				}
+			}
+			for i := 0; i < resumed.History.Len(); i++ {
+				got, want := resumed.History.Record(i), full.History.Record(resumeAt+i)
+				if got.Step != want.Step || got.Loss != want.Loss {
+					t.Fatalf("step %d: resumed loss %v != full %v", want.Step, got.Loss, want.Loss)
+				}
+			}
+		})
+	}
+}
+
+// A snapshot with adaptive state must not silently resume onto a stateless
+// attack scenario.
+func TestResumeAdaptiveStateOntoStatelessRejected(t *testing.T) {
+	ctx := context.Background()
+	be := &LocalBackend{}
+	s := resumeSpec(20)
+	s.Attack = &AttackSpec{Name: "drift"}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if _, err := be.Run(ctx, s, WithCheckpointFile(path, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Step = 10
+	stateless := resumeSpec(20)
+	// Clear the snapshot's spec binding so only the attack-state check can
+	// reject the mismatch.
+	st.Spec = nil
+	if _, err := be.Run(ctx, stateless, WithResume(st)); err == nil {
+		t.Fatal("adaptive snapshot resumed onto a stateless attack")
+	}
+	// The converse mismatch — an adaptive scenario fed a snapshot without
+	// attack state — must fail too, not silently reset the attacker.
+	st.Attack = nil
+	if _, err := be.Run(ctx, s, WithResume(st)); err == nil {
+		t.Fatal("attack-state-free snapshot resumed onto an adaptive attack")
+	}
+}
+
 // Resuming a completed run's final snapshot is an idempotent no-op: the
 // finished parameters come back unchanged instead of an error, so scripted
 // checkpoint-resume pipelines can re-run safely.

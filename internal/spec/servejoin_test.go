@@ -1,0 +1,75 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpbyz/internal/cluster"
+)
+
+// ServeSpec + JoinSpec assembled over one ChanTransport model the real
+// multi-process deployment: the server half and every worker half
+// materialize the SAME partitioned, adaptive-attack Spec independently —
+// per-worker shards included — and the cluster must train to completion
+// with exact delivery accounting.
+func TestServeJoinPartitionedSpec(t *testing.T) {
+	s := heteroSpec()
+	s.Steps = 20
+	ct := cluster.NewChanTransport()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		logBuf.WriteString(format)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, s.GAR.N)
+	for id := 0; id < s.GAR.N; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, workerErrs[id] = JoinSpec(ctx, s, id,
+				WithTransport(ct), WithAddr("srv"))
+		}(id)
+	}
+	res, err := ServeSpec(ctx, s,
+		WithTransport(ct), WithAddr("srv"),
+		WithRoundTimeout(30*time.Second),
+		WithLogf(logf),
+		WithObserver(NewProgressSink(&logBuf, 10)))
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", id, werr)
+		}
+	}
+	if res.Backend != "cluster" {
+		t.Errorf("backend %q", res.Backend)
+	}
+	if !allFinite(res.Params) {
+		t.Fatal("non-finite params")
+	}
+	if got, want := res.Cluster.Accepted+res.Cluster.Missed, s.GAR.N*s.Steps; got != want {
+		t.Errorf("accounting %d, want %d", got, want)
+	}
+	if !strings.Contains(logBuf.String(), "step") {
+		t.Error("progress sink wrote nothing")
+	}
+
+	// A worker id outside the system must be rejected up front.
+	if _, err := JoinSpec(ctx, s, s.GAR.N, WithTransport(ct)); err == nil {
+		t.Error("out-of-range worker id accepted")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"dpbyz/internal/data"
 	"dpbyz/internal/dp"
 	"dpbyz/internal/gar"
+	"dpbyz/internal/partition"
 )
 
 // Version is the Spec schema version; bump on breaking change.
@@ -47,6 +48,11 @@ type Spec struct {
 
 	// Data describes the dataset and its train/test split.
 	Data DataSpec `json:"data"`
+	// Partition, when non-nil, distributes the training split across the
+	// GAR.N workers with the named deterministic partitioner — the
+	// heterogeneous-data axis. Absent (or "iid") keeps the historical IID
+	// behaviour: every worker samples the full training split.
+	Partition *PartitionSpec `json:"partition,omitempty"`
 	// Model references the learning task by registry name.
 	Model ModelSpec `json:"model"`
 	// GAR references the aggregation rule by registry name, with the system
@@ -103,6 +109,27 @@ type DataSpec struct {
 	TrainN int `json:"trainN,omitempty"`
 	// Separation is the class-mean distance for "two-gaussians" (default 2).
 	Separation float64 `json:"separation,omitempty"`
+}
+
+// PartitionSpec references a dataset partitioner by registry name. Exactly
+// the parameters the named partitioner consumes need to be set; the zero
+// values select the partitioner's documented defaults.
+type PartitionSpec struct {
+	// Name is a partition registry name (see partition.Names): "iid",
+	// "dirichlet", "shard" or "quantity".
+	Name string `json:"name"`
+	// Beta is the Dirichlet concentration β ("dirichlet"; smaller is more
+	// label-skewed; default partition.DefaultBeta).
+	Beta float64 `json:"beta,omitempty"`
+	// Shards is the label-sorted shard count per worker ("shard"; default
+	// partition.DefaultShards).
+	Shards int `json:"shards,omitempty"`
+	// Alpha is the power-law exponent of the per-worker sample counts
+	// ("quantity"; default partition.DefaultAlpha).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed drives the partition assignment (0 means the data seed), so the
+	// same scenario can be re-dealt without changing the training streams.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // ModelSpec references a learning task by name.
@@ -288,6 +315,20 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := gar.New(s.GAR.Name, s.GAR.N, s.GAR.F); err != nil {
 		return err
+	}
+	if s.Partition != nil {
+		if _, err := partition.New(s.Partition.Name); err != nil {
+			return err
+		}
+		if s.Partition.Beta < 0 {
+			return fmt.Errorf("spec: negative partition beta %v", s.Partition.Beta)
+		}
+		if s.Partition.Shards < 0 {
+			return fmt.Errorf("spec: negative partition shards %d", s.Partition.Shards)
+		}
+		if s.Partition.Alpha < 0 {
+			return fmt.Errorf("spec: negative partition alpha %v", s.Partition.Alpha)
+		}
 	}
 	if s.Attack != nil {
 		if _, err := attack.New(s.Attack.Name); err != nil {

@@ -14,6 +14,7 @@ func fullSpec() Spec {
 	return Spec{
 		Name:              "golden",
 		Data:              DataSpec{Source: "synthetic-phishing", N: 600, Features: 10, Seed: 7, TrainN: 450},
+		Partition:         &PartitionSpec{Name: "dirichlet", Beta: 0.3, Seed: 11},
 		Model:             ModelSpec{Name: "mlp", Hidden: 8},
 		GAR:               GARSpec{Name: "trimmedmean", N: 7, F: 2},
 		Attack:            &AttackSpec{Name: "alie"},

@@ -3,9 +3,11 @@ package dpbyz
 import (
 	"context"
 
+	"dpbyz/internal/attack"
 	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/cluster"
 	"dpbyz/internal/dp"
+	"dpbyz/internal/partition"
 	"dpbyz/internal/spec"
 )
 
@@ -23,6 +25,9 @@ type (
 	DataSpec = spec.DataSpec
 	// ModelSpec references the learning task by registry name.
 	ModelSpec = spec.ModelSpec
+	// PartitionSpec references a dataset partitioner by registry name — the
+	// heterogeneous-data (non-IID) axis of a Spec.
+	PartitionSpec = spec.PartitionSpec
 	// GARSpec references the aggregation rule by registry name for (n, f).
 	GARSpec = spec.GARSpec
 	// AttackSpec references a Byzantine attack by registry name.
@@ -118,6 +123,12 @@ var (
 	// MechanismNames lists the registered DP mechanism names a
 	// MechanismSpec may reference.
 	MechanismNames = dp.Names
+	// PartitionNames lists the registered dataset partitioners a
+	// PartitionSpec may reference ("iid", "dirichlet", "shard", "quantity").
+	PartitionNames = partition.Names
+	// AdaptiveAttackNames lists the natively stateful (adaptive) attacks;
+	// every other AttackNames entry is stateless.
+	AdaptiveAttackNames = attack.AdaptiveNames
 )
 
 // Run executes the spec on the local backend — the shortest path from a
