@@ -159,6 +159,43 @@
 // for the determinism contract, and cmd/dpbyz-experiments -parallel /
 // -progress for the CLI knobs).
 //
+// # Static analysis and code contracts
+//
+// Three invariants that no compiler checks hold this module together:
+// bit-identical determinism at every parallelism width, zero-allocation
+// steady-state hot paths, and pooled scratch buffers that must never escape
+// into results. Each is declared in the source with a comment directive and
+// enforced mechanically by the analyzer suite in internal/analysis, driven
+// by cmd/dpbyz-lint (standalone multichecker; CI runs it as a blocking step
+// and the tier-1 TestLintClean runs the same suite programmatically):
+//
+//   - //dpbyz:deterministic on a package comment submits the package to
+//     detlint, which forbids the known nondeterminism sources: global
+//     math/rand imports, wall-clock reads feeding results, map iteration
+//     reaching returned or accumulated state, and goroutine writes outside
+//     the scheduler's ordered-merge idiom.
+//   - //dpbyz:hotpath on a function doc submits it to hotpathalloc, which
+//     flags allocation-inducing constructs (make/new, literals, non-self
+//     append, map writes, capturing closures, fmt and interface boxing off
+//     the cold return path) — the compile-time face of the runtime
+//     AllocsPerRun gates.
+//   - //dpbyz:scratch marks pooled-buffer provider functions and reuse
+//     carrier types; scratchalias then tracks their memory through the
+//     callers and reports any alias escaping into a result struct, return
+//     value or channel send — the PR-2 RunWorker bug class, caught before
+//     it runs.
+//   - registryref needs no annotation: every string literal used as a
+//     registry key (gar/attack/partition/dp lookups, Spec reference
+//     fields) is checked against the registered names, so a typo'd
+//     fixture fails lint instead of failing at run time.
+//
+// Reviewed exceptions are waived line by line (//dpbyz:wallclock,
+// //dpbyz:orderedmap, //dpbyz:allowalloc, //dpbyz:allowalias,
+// //dpbyz:unregistered) so every deviation from a contract is visible in
+// the diff that introduces it. See the internal/analysis package
+// documentation for the analyzer details and ROADMAP.md for the map of
+// which packages carry which contract.
+//
 // # Cluster deployments: in-process vs. real TCP
 //
 // The networked realization (internal/cluster, cmd/dpbyz-server,

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the //dpbyz:hotpath function contract: the function
+// is a steady-state hot path gated at zero allocations per operation, so
+// allocation-inducing constructs become compile-time findings instead of
+// runtime AllocsPerRun failures.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: `flag allocation-inducing constructs in //dpbyz:hotpath functions
+
+Flags, inside functions whose doc comment carries //dpbyz:hotpath: make/new;
+pointer, slice and map composite literals; append into a different variable
+(x = append(x, ...) self-append reuse is allowed — growth there is amortized
+and stays covered by the runtime AllocsPerRun gates); map writes; capturing
+closures; fmt calls outside return statements (cold error exits are exempt);
+string concatenation and string<->[]byte conversions; and explicit or
+variadic-...any interface boxing of concrete values.
+
+Init-time or amortized allocations a human has reviewed are waived line by
+line with //dpbyz:allowalloc; they stay covered by the runtime gates.`,
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	waivers := newWaiverIndex(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveHotPath) {
+				continue
+			}
+			checkHotFunc(pass, waivers, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, waivers *waiverIndex, fd *ast.FuncDecl) {
+	info := pass.Info
+	report := func(pos token.Pos, format string, args ...any) {
+		if waivers.allows(pos, waiverAllowAlloc) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	// returns collects the spans of return statements: fmt (and the interface
+	// boxing it implies) is tolerated there, because return-with-error is the
+	// cold abort path of an otherwise allocation-free function.
+	var returns []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+	inReturn := func(pos token.Pos) bool {
+		for _, r := range returns {
+			if r.Pos() <= pos && pos <= r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	targets := appendTargets(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, report, inReturn, targets, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "hot path allocates a slice literal; reuse a preallocated buffer")
+			case *types.Map:
+				report(n.Pos(), "hot path allocates a map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "hot path heap-allocates &composite{...}; hoist it out of the steady state")
+				}
+			}
+		case *ast.FuncLit:
+			if free := capturesVariables(info, n); free != "" {
+				report(n.Pos(), "hot path builds a capturing closure (captures %s); hoist the closure or pass state explicitly", free)
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pass, info, report, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && !inReturn(n.Pos()) {
+				report(n.Pos(), "hot path concatenates strings; build into a reused []byte instead")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, report func(token.Pos, string, ...any),
+	inReturn func(token.Pos) bool, targets map[*ast.CallExpr]ast.Expr, call *ast.CallExpr) {
+	// Builtins: make, new, append.
+	switch builtinName(info, call) {
+	case "make":
+		report(call.Pos(), "hot path calls make; allocate buffers at construction time")
+		return
+	case "new":
+		report(call.Pos(), "hot path calls new; allocate at construction time")
+		return
+	case "append":
+		if !isSelfAppend(info, targets, call) {
+			report(call.Pos(), "hot path appends into a new or different slice; use the x = append(x, ...) reuse idiom over a preallocated buffer")
+		}
+		return
+	}
+	// Conversions to string / []byte copy their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		switch {
+		case isStringType(to) && isByteSlice(from):
+			report(call.Pos(), "hot path converts []byte to string (copies); keep bytes as bytes")
+		case isByteSlice(to) && isStringType(from):
+			report(call.Pos(), "hot path converts string to []byte (copies)")
+		case isInterfaceType(to) && !isInterfaceType(from) && !isUntypedNil(info, call.Args[0]):
+			report(call.Pos(), "hot path boxes a concrete value into an interface")
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && !inReturn(call.Pos()) {
+		report(call.Pos(), "hot path calls %s (boxes arguments and formats); restrict fmt to cold error returns", fn.FullName())
+		return
+	}
+	// Variadic ...any arguments box every concrete operand (the fmt-shaped
+	// hazard, for any callee).
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "fmt" || inReturn(call.Pos()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().Len() - 1
+	slice, ok := sig.Params().At(last).Type().(*types.Slice)
+	if !ok || !isEmptyInterface(slice.Elem()) {
+		return
+	}
+	for i := last; i < len(call.Args); i++ {
+		arg := call.Args[i]
+		if !isInterfaceType(info.TypeOf(arg)) && !isUntypedNil(info, arg) {
+			report(arg.Pos(), "hot path boxes a concrete value into a ...any argument of %s", fn.FullName())
+			return
+		}
+	}
+}
+
+func checkHotAssign(pass *Pass, info *types.Info, report func(token.Pos, string, ...any), a *ast.AssignStmt) {
+	for _, lhs := range a.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
+			report(a.Pos(), "hot path writes a map entry (may allocate/rehash); use preallocated slices keyed by index")
+		}
+	}
+}
+
+// isSelfAppend reports whether the call is the x = append(x, ...) reuse idiom
+// (including append(x[:0], ...) reslices of the same variable and selector
+// chains like r.buf = append(r.buf, ...)).
+func isSelfAppend(info *types.Info, targets map[*ast.CallExpr]ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg0 := ast.Unparen(call.Args[0])
+	if sl, ok := arg0.(*ast.SliceExpr); ok {
+		// append(buf[:0], ...) and append(dst[:n], ...) reuse dst's backing
+		// array; growth beyond capacity stays on the runtime gates.
+		arg0 = ast.Unparen(sl.X)
+	}
+	target, ok := targets[call]
+	if !ok {
+		return false
+	}
+	return sameLValue(info, target, arg0)
+}
+
+// appendTargets maps every call appearing as the direct right-hand side of an
+// assignment to its target expression, so isSelfAppend can match
+// `x = append(x, ...)` without parent links. `return append(x, ...)` forms
+// map the call to its own first argument: returning the grown slice is the
+// encode-into-caller-buffer idiom (the caller owns dst), not a fresh
+// allocation.
+func appendTargets(body *ast.BlockStmt) map[*ast.CallExpr]ast.Expr {
+	targets := map[*ast.CallExpr]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					targets[call] = ast.Unparen(n.Lhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && len(call.Args) > 0 {
+					targets[call] = ast.Unparen(call.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// sameLValue reports whether two expressions denote the same variable or
+// selector chain (a, r.buf, m.params.Weights).
+func sameLValue(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := identObj(info, av), identObj(info, bv)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return av.Sel.Name == bv.Sel.Name && sameLValue(info, av.X, bv.X)
+	}
+	return false
+}
+
+// capturesVariables returns the name of a variable the literal captures from
+// an enclosing function, or "" when the closure is capture-free (and so needs
+// no per-call allocation).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture needed
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isEmptyInterface(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.Empty()
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

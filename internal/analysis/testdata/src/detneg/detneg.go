@@ -1,0 +1,63 @@
+// Package detneg exercises the idioms detlint must accept in a
+// deterministic package: collect-then-sort listings, commutative
+// accumulation over maps, the ordered-merge goroutine pattern, and the
+// wallclock/orderedmap waivers.
+//
+//dpbyz:deterministic
+package detneg
+
+import (
+	"sort"
+	"time"
+)
+
+// Keys collects then sorts: map order never reaches the result.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total accumulates an integer — commutative, hence order-insensitive.
+func Total(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// OrderedMerge gives each goroutine a disjoint slice index.
+func OrderedMerge(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	done := make(chan struct{})
+	for i := range xs {
+		go func(i int) {
+			out[i] = 2 * xs[i]
+			done <- struct{}{}
+		}(i)
+	}
+	for range xs {
+		<-done
+	}
+	return out
+}
+
+// Telemetry reads the clock under the reviewed telemetry-only waiver.
+func Telemetry() int64 {
+	//dpbyz:wallclock
+	return time.Now().UnixNano()
+}
+
+// Waived iterates a map into a result under an explicit review waiver.
+func Waived(m map[string]int) []string {
+	var out []string
+	//dpbyz:orderedmap
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package detpos seeds every nondeterminism class detlint must catch.
+//
+//dpbyz:deterministic
+package detpos
+
+import (
+	"math/rand" // want `deterministic package imports "math/rand"`
+	"time"
+)
+
+// Roll leaks global math/rand state into a result.
+func Roll() float64 { return rand.Float64() }
+
+// Stamp reads the wall clock without a waiver.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time\.Now in deterministic package`
+}
+
+// SumKeysUnsorted appends map keys in iteration order straight into the
+// returned slice — the classic nondeterministic listing.
+func SumKeysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order can reach results`
+		out = append(out, k)
+	}
+	return out
+}
+
+// RacyAccumulate has goroutines write one shared captured variable.
+func RacyAccumulate(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for _, x := range xs {
+		go func(v float64) {
+			total += v // want `goroutine writes captured variable total outside the ordered-merge idiom`
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+// Package hotpathneg exercises what hotpathalloc must accept: self-append
+// reuse, cold fmt error returns, reviewed //dpbyz:allowalloc waivers, and
+// arbitrary allocation in functions without the directive.
+package hotpathneg
+
+import "fmt"
+
+type ring struct {
+	buf []float64
+}
+
+// Push uses the x = append(x, ...) reuse idiom; amortized growth is covered
+// by the runtime AllocsPerRun gates, not the linter.
+//
+//dpbyz:hotpath
+func (r *ring) Push(v float64) {
+	r.buf = append(r.buf, v)
+}
+
+// Checked keeps fmt on the cold error return and waives one reviewed
+// amortized allocation.
+//
+//dpbyz:hotpath
+func (r *ring) Checked(n int) error {
+	if n < 0 {
+		return fmt.Errorf("ring: negative n %d", n)
+	}
+	if cap(r.buf) < n {
+		//dpbyz:allowalloc
+		r.buf = make([]float64, 0, n)
+	}
+	return nil
+}
+
+// Cold carries no directive, so it may allocate freely.
+func Cold(n int) []float64 {
+	out := make([]float64, n)
+	m := map[string]int{"n": n}
+	_ = m
+	return out
+}

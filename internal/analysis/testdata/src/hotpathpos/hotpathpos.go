@@ -1,0 +1,40 @@
+// Package hotpathpos seeds every allocation construct hotpathalloc must
+// catch inside a //dpbyz:hotpath function.
+package hotpathpos
+
+import "fmt"
+
+// state is a long-lived object whose methods are hot.
+type state struct {
+	buf   []float64
+	names map[string]int
+}
+
+// sink accepts variadic ...any, boxing every concrete operand.
+func sink(args ...any) int { return len(args) }
+
+// Step allocates in every way the zero-alloc contract forbids.
+//
+//dpbyz:hotpath
+func (s *state) Step(xs []float64) float64 {
+	tmp := make([]float64, len(xs)) // want `hot path calls make`
+	copy(tmp, xs)
+	lit := []float64{1, 2, 3} // want `hot path allocates a slice literal`
+	_ = lit
+	p := new(float64) // want `hot path calls new`
+	_ = p
+	s.buf = append(tmp, xs...)           // want `hot path appends into a new or different slice`
+	s.names["step"] = 1                  // want `hot path writes a map entry`
+	f := func() float64 { return xs[0] } // want `hot path builds a capturing closure`
+	_ = sink(len(xs))                    // want `hot path boxes a concrete value into a \.\.\.any argument`
+	return f()
+}
+
+// Describe formats mid-path instead of on the cold error return.
+//
+//dpbyz:hotpath
+func (s *state) Describe(id int) string {
+	msg := fmt.Sprintf("worker %d", id) // want `hot path calls fmt\.Sprintf`
+	msg = msg + "!"                     // want `hot path concatenates strings`
+	return msg
+}

@@ -1,0 +1,37 @@
+// Package registryneg exercises what registryref must accept: correctly
+// registered names everywhere, and an intentionally unknown error-path
+// fixture under the //dpbyz:unregistered waiver.
+package registryneg
+
+import (
+	"dpbyz/internal/attack"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/spec"
+)
+
+// Lookups uses registered names.
+func Lookups() error {
+	if _, err := gar.New("krum", 7, 1); err != nil {
+		return err
+	}
+	if _, err := attack.New("alie"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Fixture references registered names through every checked field.
+func Fixture() spec.Spec {
+	s := spec.Spec{
+		GAR:  spec.GARSpec{Name: "median", N: 7, F: 1},
+		Data: spec.DataSpec{Source: "two-gaussians"},
+	}
+	s.Model.Name = "logistic-nll"
+	return s
+}
+
+// ErrorPath probes rejection of an unknown name, reviewed and waived.
+func ErrorPath() error {
+	_, err := gar.New("nope", 5, 1) //dpbyz:unregistered
+	return err
+}

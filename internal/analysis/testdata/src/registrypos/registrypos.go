@@ -1,0 +1,31 @@
+// Package registrypos seeds typo'd registry keys registryref must catch,
+// through the real lookup functions and Spec reference fields.
+package registrypos
+
+import (
+	"dpbyz/internal/attack"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/spec"
+)
+
+// Lookups passes misspelled names to the registry lookup functions.
+func Lookups() error {
+	if _, err := gar.New("krun", 5, 1); err != nil { // want `unknown gar rule "krun"`
+		return err
+	}
+	if _, err := attack.New("littleisenough"); err != nil { // want `unknown attack "littleisenough"`
+		return err
+	}
+	return nil
+}
+
+// Fixture builds a Spec with typo'd reference fields in composite literals
+// and assignments.
+func Fixture() spec.Spec {
+	s := spec.Spec{
+		GAR:  spec.GARSpec{Name: "kruum", N: 7, F: 1}, // want `unknown gar rule "kruum"`
+		Data: spec.DataSpec{Source: "mnist"},          // want `unknown data source "mnist"`
+	}
+	s.Model.Name = "resnet50" // want `unknown model "resnet50"`
+	return s
+}

@@ -1,0 +1,42 @@
+// Package scratchneg exercises what scratchalias must accept: copy-out
+// idioms, scalar reads from carriers, carrier-to-carrier transfer, provider
+// functions themselves, and the reviewed //dpbyz:allowalias waiver.
+package scratchneg
+
+// message is the pooled, reused decode target.
+//
+//dpbyz:scratch
+type message struct {
+	step   int
+	params []float64
+}
+
+// getParams is a provider: returning scratch is its job.
+//
+//dpbyz:scratch
+func getParams(m *message) []float64 { return m.params }
+
+// CopyOut clones the scratch into fresh memory before returning.
+func CopyOut(m *message) []float64 {
+	return append([]float64(nil), m.params...)
+}
+
+// CopyInto copies into a caller-owned destination; the scratch never leaves.
+func CopyInto(dst []float64, m *message) int {
+	return copy(dst, m.params)
+}
+
+// Step reads a scalar out of the carrier — a copy, never an alias.
+func Step(m *message) int { return m.step }
+
+// Transfer moves the buffer between two carriers; both sides are reuse
+// structures, so the alias stays inside the pool discipline.
+func Transfer(dst, src *message) {
+	dst.params = src.params
+}
+
+// Keep retains the alias deliberately, under a reviewed waiver.
+func Keep(m *message) []float64 {
+	//dpbyz:allowalias
+	return getParams(m)
+}

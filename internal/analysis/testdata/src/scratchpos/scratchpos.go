@@ -1,0 +1,73 @@
+// Package scratchpos seeds the pooled-scratch escapes scratchalias must
+// catch, including the PR-2 RunWorker regression: a decode-scratch buffer
+// stored into a result struct and recycled under the caller.
+package scratchpos
+
+import "sync"
+
+// message is the pooled, reused decode target.
+//
+//dpbyz:scratch
+type message struct {
+	step   int
+	params []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(message) }}
+
+// decodeFloat64s grows *dst in place and returns the decoded view; the
+// returned slice aliases the scratch.
+//
+//dpbyz:scratch
+func decodeFloat64s(dst *[]float64, n int) []float64 {
+	if cap(*dst) < n {
+		*dst = make([]float64, n)
+	}
+	*dst = (*dst)[:n]
+	return *dst
+}
+
+// WorkerResult is a caller-visible result, not a reuse carrier.
+type WorkerResult struct {
+	Step        int
+	FinalParams []float64
+}
+
+// RunWorker is the PR-2 regression verbatim: the carrier's params buffer is
+// packed into the result and will be recycled under the caller. The int step
+// is a copy and must not be flagged.
+func RunWorker(m *message) WorkerResult {
+	return WorkerResult{
+		Step:        m.step,
+		FinalParams: m.params, // want `composite literal captures pooled scratch`
+	}
+}
+
+// StoreField leaks the same alias through a field assignment.
+func StoreField(r *WorkerResult, m *message) {
+	r.FinalParams = m.params // want `storing pooled scratch into field FinalParams`
+}
+
+// Leak returns the provider's scratch view directly.
+func Leak(buf *[]float64) []float64 {
+	out := decodeFloat64s(buf, 8)
+	return out // want `returning pooled scratch`
+}
+
+// LeakSlice returns a sub-slice of the scratch; slicing keeps the alias.
+func LeakSlice(buf *[]float64) []float64 {
+	out := decodeFloat64s(buf, 8)
+	return out[:4] // want `returning pooled scratch`
+}
+
+// Send hands the scratch to a receiver that outlives its reuse window.
+func Send(ch chan []float64, m *message) {
+	ch <- m.params // want `sending pooled scratch on a channel`
+}
+
+// FromPool taints through (*sync.Pool).Get and a type assertion.
+func FromPool() []float64 {
+	m := pool.Get().(*message)
+	defer pool.Put(m)
+	return m.params // want `returning pooled scratch`
+}

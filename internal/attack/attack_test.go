@@ -172,7 +172,7 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("attack %q reports name %q", name, a.Name())
 		}
 	}
-	if _, err := New("bogus"); err == nil {
+	if _, err := New("bogus"); err == nil { //dpbyz:unregistered
 		t.Error("unknown attack did not error")
 	}
 }

@@ -61,6 +61,8 @@ const (
 // are owned by the message and reused across decodes: a decoded payload is
 // only valid until the next decode into the same message. Callers that
 // retain vectors beyond that must copy them out.
+//
+//dpbyz:scratch
 type message struct {
 	kind     msgType
 	hello    Hello
@@ -78,18 +80,24 @@ func (m *message) releaseScratch() {
 }
 
 // appendHeader writes the fixed frame header for a payload of n bytes.
+//
+//dpbyz:hotpath
 func appendHeader(dst []byte, kind msgType, n int) []byte {
 	dst = append(dst, frameMagic0, frameMagic1, frameVersion, byte(kind))
 	return binary.LittleEndian.AppendUint32(dst, uint32(n))
 }
 
 // appendHelloFrame encodes a complete hello frame.
+//
+//dpbyz:hotpath
 func appendHelloFrame(dst []byte, h Hello) []byte {
 	dst = appendHeader(dst, msgHello, 4)
 	return binary.LittleEndian.AppendUint32(dst, uint32(h.WorkerID))
 }
 
 // appendParamsFrame encodes a complete params frame.
+//
+//dpbyz:hotpath
 func appendParamsFrame(dst []byte, p Params) []byte {
 	dst = appendHeader(dst, msgParams, 9+8*len(p.Weights))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Step))
@@ -103,6 +111,8 @@ func appendParamsFrame(dst []byte, p Params) []byte {
 }
 
 // appendGradientFrame encodes a complete gradient frame.
+//
+//dpbyz:hotpath
 func appendGradientFrame(dst []byte, g Gradient) []byte {
 	dst = appendHeader(dst, msgGradient, 12+8*len(g.Grad))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(g.WorkerID))
@@ -111,6 +121,9 @@ func appendGradientFrame(dst []byte, g Gradient) []byte {
 	return appendFloat64s(dst, g.Grad)
 }
 
+// appendFloat64s packs v as raw little-endian bits onto dst.
+//
+//dpbyz:hotpath
 func appendFloat64s(dst []byte, v []float64) []byte {
 	for _, x := range v {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
@@ -121,6 +134,8 @@ func appendFloat64s(dst []byte, v []float64) []byte {
 // parseHeader validates a frame header and returns the message type and
 // declared payload length. maxFrame bounds the length a peer may declare;
 // the check runs before any payload is read or allocated.
+//
+//dpbyz:hotpath
 func parseHeader(hdr []byte, maxFrame int) (msgType, int, error) {
 	if len(hdr) < frameHeaderSize {
 		return msgInvalid, 0, fmt.Errorf("%w: short header (%d bytes)", ErrBadPayload, len(hdr))
@@ -144,6 +159,8 @@ func parseHeader(hdr []byte, maxFrame int) (msgType, int, error) {
 
 // decodePayload parses one payload into m, reusing m's vector buffers. The
 // declared vector dimension must account for the payload length exactly.
+//
+//dpbyz:hotpath
 func decodePayload(kind msgType, payload []byte, m *message) error {
 	m.kind = msgInvalid
 	switch kind {
@@ -197,6 +214,9 @@ func decodePayload(kind msgType, payload []byte, m *message) error {
 
 // decodeFloat64s fills dst (grown through the scratch pool when too small)
 // with n raw little-endian float64s from src.
+//
+//dpbyz:scratch
+//dpbyz:hotpath
 func decodeFloat64s(dst []float64, src []byte, n int) []float64 {
 	if cap(dst) < n {
 		putScratch(dst)

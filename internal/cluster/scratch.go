@@ -18,6 +18,8 @@ const scratchPoolCap = 256
 
 // getScratch returns a float64 buffer of length n, reusing a pooled buffer
 // when one has enough capacity.
+//
+//dpbyz:scratch
 func getScratch(n int) []float64 {
 	scratchPool.Lock()
 	for i := len(scratchPool.bufs) - 1; i >= 0; i-- {

@@ -37,7 +37,7 @@ func TestMechanismRegistry(t *testing.T) {
 		t.Errorf("registry laplace scale %v, direct %v", l.Sigma(), wantL.Sigma())
 	}
 
-	if _, err := New("nope", p); err == nil {
+	if _, err := New("nope", p); err == nil { //dpbyz:unregistered
 		t.Error("unknown mechanism accepted")
 	}
 

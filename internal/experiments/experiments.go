@@ -24,6 +24,8 @@
 // Note that individual cell trajectories are a pure function of the seed
 // within one build of this module, but are not bit-stable across the randx
 // Gaussian sampler change (see the randx package comment).
+//
+//dpbyz:deterministic
 package experiments
 
 import (

@@ -66,6 +66,8 @@ func (c *CenteredClip) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (c *CenteredClip) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, c.n); err != nil {
 		return err
@@ -110,6 +112,8 @@ func (c *CenteredClip) AggregateInto(dst []float64, grads [][]float64) error {
 
 // medianDistanceTo returns the median Euclidean distance from the points
 // to the center, using dists (len(grads)) as scratch.
+//
+//dpbyz:hotpath
 func medianDistanceTo(grads [][]float64, center, dists []float64) float64 {
 	for i, g := range grads {
 		dists[i] = vecmath.Dist(g, center)

@@ -9,6 +9,8 @@
 // and validates the rule-specific relationship between the two (for example
 // Krum needs n > 2f + 2, Bulyan needs n ≥ 4f + 3). Aggregate is a pure
 // function and safe for concurrent use.
+//
+//dpbyz:deterministic
 package gar
 
 import (
@@ -169,6 +171,8 @@ func (a *Average) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (a *Average) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, a.n); err != nil {
 		return err
@@ -217,6 +221,8 @@ func (m *Median) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (m *Median) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, m.n); err != nil {
 		return err
@@ -268,6 +274,8 @@ func (t *TrimmedMean) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (t *TrimmedMean) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, t.n); err != nil {
 		return err
@@ -317,6 +325,8 @@ func (m *Meamed) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (m *Meamed) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, m.n); err != nil {
 		return err
@@ -378,6 +388,8 @@ type phocasVal struct {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (p *Phocas) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, p.n); err != nil {
 		return err
@@ -391,6 +403,9 @@ func (p *Phocas) AggregateInto(dst []float64, grads [][]float64) error {
 	// Per coordinate, average the n-f values nearest the trimmed mean.
 	d := len(dst)
 	if w := vecmath.ChunkWorkers(d); w > 1 {
+		// Above-grain dimensions fan out across cores; the closure spawn is
+		// the documented fixed goroutine-dispatch cost (see IntoAggregator).
+		//dpbyz:allowalloc
 		vecmath.RunChunked(d, w, func(lo, hi int) {
 			ws := getScratch()
 			p.phocasRange(dst, trimmed, grads, grow(&ws.scored, p.n), lo, hi)
@@ -404,6 +419,8 @@ func (p *Phocas) AggregateInto(dst []float64, grads [][]float64) error {
 
 // phocasRange runs the Phocas per-coordinate selection over [lo, hi) using
 // the provided n-sized column.
+//
+//dpbyz:hotpath
 func (p *Phocas) phocasRange(dst, trimmed []float64, grads [][]float64, col []phocasVal, lo, hi int) {
 	keep := p.n - p.f
 	for j := lo; j < hi; j++ {

@@ -467,7 +467,7 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("%s N = %d", name, g.N())
 		}
 	}
-	if _, err := New("nope", 5, 1); err == nil {
+	if _, err := New("nope", 5, 1); err == nil { //dpbyz:unregistered
 		t.Error("unknown rule did not error")
 	}
 	res := ResilientNames()

@@ -62,6 +62,8 @@ func (g *GeoMed) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (g *GeoMed) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, g.n); err != nil {
 		return err

@@ -21,6 +21,9 @@ func krumEta(n, f int) float64 {
 // from the scratch, so the steady state allocates nothing; the returned
 // slice aliases the scratch and is valid until the next krumScoresInto call
 // on the same scratch.
+//
+//dpbyz:scratch
+//dpbyz:hotpath
 func krumScoresInto(s *scratch, grads [][]float64, f int) []float64 {
 	n := len(grads)
 	gram := s.square(n)
@@ -103,6 +106,8 @@ func (k *Krum) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (k *Krum) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, k.n); err != nil {
 		return err
@@ -168,6 +173,8 @@ func (mk *MultiKrum) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (mk *MultiKrum) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, mk.n); err != nil {
 		return err
@@ -185,6 +192,8 @@ func (mk *MultiKrum) AggregateInto(dst []float64, grads [][]float64) error {
 // is a pure function of the gradient multiset — deterministic regardless of
 // worker order and of the scratch's prior contents. Partial selection sort:
 // m and n are both small (tens).
+//
+//dpbyz:hotpath
 func selectByScore(out [][]float64, idx []int, grads [][]float64, scores []float64) [][]float64 {
 	n := len(grads)
 	for i := range idx {
@@ -249,6 +258,8 @@ func (b *Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
 }
 
 // AggregateInto implements IntoAggregator.
+//
+//dpbyz:hotpath
 func (b *Bulyan) AggregateInto(dst []float64, grads [][]float64) error {
 	if err := checkAggInto(dst, grads, b.n); err != nil {
 		return err

@@ -87,6 +87,8 @@ func (m *MDA) AggregateGreedy(grads [][]float64) ([]float64, error) {
 }
 
 // aggregateInto is the shared MDA body; forceGreedy skips the exact search.
+//
+//dpbyz:hotpath
 func (m *MDA) aggregateInto(dst []float64, grads [][]float64, forceGreedy bool) error {
 	if err := checkAggInto(dst, grads, m.n); err != nil {
 		return err
@@ -132,6 +134,8 @@ func binomialAtMost(n, k, limit int) bool {
 // A struct with methods (rather than a recursive closure) keeps the search
 // allocation-free: the receiver lives on the caller's stack and the index
 // buffers come from the scratch pool.
+//
+//dpbyz:scratch
 type mdaSearch struct {
 	dists    [][]float64
 	n, k     int
@@ -146,7 +150,10 @@ type mdaSearch struct {
 // running diameter. Ties on the diameter are broken by the subset's total
 // scatter (sum of pairwise squared distances), which makes the selection
 // invariant to the input order: two distinct subsets sharing both diameter
-// and scatter only occur on measure-zero inputs.
+// and scatter only occur on measure-zero inputs. The returned index slice
+// aliases the scratch.
+//
+//dpbyz:scratch
 func minDiameterExact(dists [][]float64, n, k int, s *scratch) []int {
 	srch := mdaSearch{
 		dists:    dists,
@@ -161,6 +168,8 @@ func minDiameterExact(dists [][]float64, n, k int, s *scratch) []int {
 	return srch.best
 }
 
+//
+//dpbyz:hotpath
 func (m *mdaSearch) recurse(start int, curDiam, curScatter float64) {
 	if curDiam > m.bestDiam {
 		return // prune: cannot improve
@@ -194,7 +203,10 @@ func (m *mdaSearch) recurse(start int, curDiam, curScatter float64) {
 
 // minDiameterGreedy evaluates, for each gradient i, the candidate subset
 // {i} ∪ {its k−1 nearest neighbours} and returns the candidate with the
-// smallest diameter. O(n²·k) after the O(n²·d) distance matrix.
+// smallest diameter. O(n²·k) after the O(n²·d) distance matrix. The
+// returned index slice aliases the scratch.
+//
+//dpbyz:scratch
 func minDiameterGreedy(dists [][]float64, n, k int, s *scratch) []int {
 	bestDiam := math.Inf(1)
 	bestScatter := math.Inf(1)

@@ -8,6 +8,8 @@ import "sync"
 // aggregation covers all of them. On the steady state of a training loop
 // (fixed n and d) no call allocates: every grow* hit finds sufficient
 // capacity from the previous step.
+//
+//dpbyz:scratch
 type scratch struct {
 	vecA, vecB []float64 // gradient-sized (d) iterates and accumulators
 	scores     []float64 // per-worker (n) scores / distances
@@ -21,11 +23,17 @@ type scratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+// getScratch borrows a scratch bundle from the pool.
+//
+//dpbyz:scratch
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
 func putScratch(s *scratch) { scratchPool.Put(s) }
 
 // grow resizes *buf to length n, reallocating only when capacity is short;
 // contents are unspecified and must be overwritten by the caller.
+//
+//dpbyz:scratch
 func grow[T any](buf *[]T, n int) []T {
 	if cap(*buf) < n {
 		*buf = make([]T, n)
@@ -35,6 +43,8 @@ func grow[T any](buf *[]T, n int) []T {
 }
 
 // square returns an n×n matrix view over the scratch's pooled flat storage.
+//
+//dpbyz:scratch
 func (s *scratch) square(n int) [][]float64 {
 	flat := grow(&s.gramFlat, n*n)
 	rows := grow(&s.gram, n)

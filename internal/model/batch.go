@@ -213,6 +213,8 @@ func (m *MLP) ClippedBatchGradient(dst, buf, w []float64, batch []data.Point, _ 
 var hiddenPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // getHidden returns a pooled scratch slice of length n.
+//
+//dpbyz:scratch
 func getHidden(n int) *[]float64 {
 	p := hiddenPool.Get().(*[]float64)
 	if cap(*p) < n {

@@ -21,6 +21,8 @@
 // yields the same assignment on every host and backend, so a partitioned
 // Spec stays bit-reproducible and the local and cluster backends see
 // identical per-worker datasets.
+//
+//dpbyz:deterministic
 package partition
 
 import (

@@ -222,7 +222,7 @@ func TestNoEmptyWorkersUnderStress(t *testing.T) {
 // Structural error cases fail loudly.
 func TestPartitionErrors(t *testing.T) {
 	ds := testDataset(t, 10)
-	if _, err := New("bogus"); err == nil {
+	if _, err := New("bogus"); err == nil { //dpbyz:unregistered
 		t.Error("unknown partitioner accepted")
 	}
 	for _, name := range Names() {

@@ -19,6 +19,8 @@
 // Runs remain a pure function of their seed within any one build; only
 // cross-revision bit-identity was given up. The Box-Muller sampler is kept
 // as NormalBoxMuller for bit-compatibility tests against the old stream.
+//
+//dpbyz:deterministic
 package randx
 
 import "math"
@@ -114,6 +116,8 @@ func Restore(st StreamState) *Stream {
 }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256++).
+//
+//dpbyz:hotpath
 func (r *Stream) Uint64() uint64 {
 	res := rotl(r.s[0]+r.s[3], 23) + r.s[0]
 	t := r.s[1] << 17
@@ -127,11 +131,15 @@ func (r *Stream) Uint64() uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//dpbyz:hotpath
 func (r *Stream) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform int in [0, n). It panics when n <= 0.
+//
+//dpbyz:hotpath
 func (r *Stream) Intn(n int) int {
 	if n <= 0 {
 		panic("randx: Intn with non-positive n")
@@ -160,6 +168,8 @@ func mul64(a, b uint64) (hi, lo uint64) {
 
 // PermInto fills p with a uniformly random permutation of [0, len(p)) and
 // returns p. It draws the same variates as Perm, without allocating.
+//
+//dpbyz:hotpath
 func (r *Stream) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
@@ -213,6 +223,8 @@ func init() {
 // common case is one uniform draw, a table lookup and a multiply, versus
 // Box-Muller's log/sqrt/sin/cos per pair. See the package comment for the
 // stream-compatibility consequences.
+//
+//dpbyz:hotpath
 func (r *Stream) Normal() float64 {
 	for {
 		u := r.Uint64()
@@ -236,6 +248,8 @@ func (r *Stream) Normal() float64 {
 
 // normalTail samples from the Gaussian tail beyond zigR (Marsaglia's
 // exponential-rejection tail method).
+//
+//dpbyz:hotpath
 func (r *Stream) normalTail(neg bool) float64 {
 	for {
 		u1 := r.Float64()
@@ -278,6 +292,8 @@ func (r *Stream) NormalBoxMuller() float64 {
 }
 
 // NormalVec fills dst with i.i.d. N(0, sigma^2) variates and returns dst.
+//
+//dpbyz:hotpath
 func (r *Stream) NormalVec(dst []float64, sigma float64) []float64 {
 	for i := range dst {
 		dst[i] = sigma * r.Normal()
@@ -287,6 +303,8 @@ func (r *Stream) NormalVec(dst []float64, sigma float64) []float64 {
 
 // Laplace returns a zero-mean Laplace variate with scale b, via the inverse
 // CDF: X = -b * sgn(U) * ln(1 - 2|U|) for U uniform on (-1/2, 1/2).
+//
+//dpbyz:hotpath
 func (r *Stream) Laplace(b float64) float64 {
 	u := r.Float64() - 0.5
 	if u >= 0 {
@@ -296,6 +314,8 @@ func (r *Stream) Laplace(b float64) float64 {
 }
 
 // LaplaceVec fills dst with i.i.d. Laplace(0, scale) variates and returns dst.
+//
+//dpbyz:hotpath
 func (r *Stream) LaplaceVec(dst []float64, scale float64) []float64 {
 	for i := range dst {
 		dst[i] = r.Laplace(scale)
@@ -308,6 +328,8 @@ func (r *Stream) LaplaceVec(dst []float64, scale float64) []float64 {
 // steady-state draws (the per-step batch sampling of every worker) are
 // allocation-free; the drawn variates are identical to the original
 // map-backed implementation.
+//
+//dpbyz:hotpath
 func (r *Stream) Sample(idx []int, n int) {
 	k := len(idx)
 	if k > n {

@@ -22,6 +22,8 @@
 // coordinates once, into worker-owned buffers. The steady-state step
 // allocates nothing beyond what a configured Attack allocates to craft its
 // vector.
+//
+//dpbyz:deterministic
 package simulate
 
 import (
@@ -447,6 +449,8 @@ func (r *runner) restore(st *checkpoint.RunState) error {
 
 // runWorker executes one worker's fused step pipeline and leaves the
 // submission in wk.out.
+//
+//dpbyz:hotpath
 func (r *runner) runWorker(i int) {
 	cfg := &r.cfg
 	wk := r.workers[i]
@@ -504,6 +508,8 @@ func (r *runner) runWorker(i int) {
 }
 
 // step advances the run by one synchronous SGD round.
+//
+//dpbyz:hotpath
 func (r *runner) step(step int) error {
 	cfg := &r.cfg
 
@@ -511,6 +517,9 @@ func (r *runner) step(step int) error {
 		var wg sync.WaitGroup
 		for i := r.computeFrom; i < r.n; i++ {
 			wg.Add(1)
+			// Parallel mode trades a fixed per-step goroutine dispatch for
+			// wall-clock; the zero-alloc gate covers the serial path.
+			//dpbyz:allowalloc
 			go func(i int) {
 				defer wg.Done()
 				r.runWorker(i)

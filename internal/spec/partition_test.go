@@ -189,7 +189,7 @@ func TestHeteroAdaptiveBitReproducible(t *testing.T) {
 // before any run starts.
 func TestPartitionSpecValidation(t *testing.T) {
 	for name, mutate := range map[string]func(*Spec){
-		"unknown partitioner": func(s *Spec) { s.Partition = &PartitionSpec{Name: "sorted"} },
+		"unknown partitioner": func(s *Spec) { s.Partition = &PartitionSpec{Name: "sorted"} }, //dpbyz:unregistered
 		"negative beta":       func(s *Spec) { s.Partition = &PartitionSpec{Name: "dirichlet", Beta: -1} },
 		"negative shards":     func(s *Spec) { s.Partition = &PartitionSpec{Name: "shard", Shards: -2} },
 		"negative alpha":      func(s *Spec) { s.Partition = &PartitionSpec{Name: "quantity", Alpha: -0.5} },

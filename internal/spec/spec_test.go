@@ -112,14 +112,14 @@ func TestSpecValidate(t *testing.T) {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
 	for name, mutate := range map[string]func(*Spec){
-		"unknown gar":        func(s *Spec) { s.GAR.Name = "nope" },
+		"unknown gar":        func(s *Spec) { s.GAR.Name = "nope" }, //dpbyz:unregistered
 		"missing gar":        func(s *Spec) { s.GAR = GARSpec{} },
-		"unknown attack":     func(s *Spec) { s.Attack = &AttackSpec{Name: "nope"} },
+		"unknown attack":     func(s *Spec) { s.Attack = &AttackSpec{Name: "nope"} }, //dpbyz:unregistered
 		"attack with f=0":    func(s *Spec) { s.GAR = GARSpec{Name: "average", N: 7} },
-		"unknown mechanism":  func(s *Spec) { s.Mechanism = &MechanismSpec{Name: "nope"} },
-		"unknown model":      func(s *Spec) { s.Model = ModelSpec{Name: "resnet"} },
+		"unknown mechanism":  func(s *Spec) { s.Mechanism = &MechanismSpec{Name: "nope"} }, //dpbyz:unregistered
+		"unknown model":      func(s *Spec) { s.Model = ModelSpec{Name: "resnet"} },        //dpbyz:unregistered
 		"mlp without hidden": func(s *Spec) { s.Model = ModelSpec{Name: "mlp"} },
-		"unknown source":     func(s *Spec) { s.Data.Source = "imagenet" },
+		"unknown source":     func(s *Spec) { s.Data.Source = "imagenet" }, //dpbyz:unregistered
 		"libsvm no path":     func(s *Spec) { s.Data = DataSpec{Source: "libsvm"} },
 		"zero steps":         func(s *Spec) { s.Steps = 0 },
 		"zero batch":         func(s *Spec) { s.BatchSize = 0 },

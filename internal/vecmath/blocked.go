@@ -10,6 +10,8 @@ package vecmath
 // interleaved partial sums. The reduction order differs from Dot, so the two
 // agree only up to floating-point rounding; use one or the other
 // consistently within a computation that must be reproducible.
+//
+//dpbyz:hotpath
 func DotBlocked(a, b []float64) float64 {
 	assertSameLen(a, b)
 	var d0, d1, d2, d3 float64
@@ -31,6 +33,8 @@ func DotBlocked(a, b []float64) float64 {
 // storing each dst coordinate once instead of four times. The four vectors
 // normally share dst's length; if they disagree (dimension-confused
 // inputs), it degrades to four independent Axpy calls.
+//
+//dpbyz:hotpath
 func Axpy4(dst []float64, a0 float64, x0 []float64, a1 float64, x1 []float64,
 	a2 float64, x2 []float64, a3 float64, x3 []float64) {
 	n := len(x0)
@@ -51,6 +55,8 @@ func Axpy4(dst []float64, a0 float64, x0 []float64, a1 float64, x1 []float64,
 // kernel behind the linear models' batched per-sample clipping, where both
 // the score w·x and the per-sample gradient norm |g|·√(‖x‖²+1) are needed
 // per point.
+//
+//dpbyz:hotpath
 func DotSqNorm(a, b []float64) (dot, bSq float64) {
 	assertSameLen(a, b)
 	var d0, d1, d2, d3 float64

@@ -35,6 +35,8 @@ type colReduce struct {
 }
 
 // apply reduces one sorted column to its output coordinate.
+//
+//dpbyz:hotpath
 func (r colReduce) apply(sorted []float64) float64 {
 	switch r.op {
 	case opTrimmedMean:
@@ -54,6 +56,8 @@ func (r colReduce) apply(sorted []float64) float64 {
 // MedianSorted returns the median of an already-sorted column. For even
 // counts it returns the average of the two middle elements. This is the one
 // place the median definition lives.
+//
+//dpbyz:hotpath
 func MedianSorted(sorted []float64) float64 {
 	n := len(sorted)
 	if n%2 == 1 {
@@ -66,6 +70,8 @@ func MedianSorted(sorted []float64) float64 {
 // closest to its median (the "Meamed" primitive of Xie et al. 2018). The
 // column is sorted, so the m nearest values form a contiguous window; the
 // window is slid to its minimum-width position.
+//
+//dpbyz:hotpath
 func meamedSorted(sorted []float64, m int) float64 {
 	n := len(sorted)
 	med := MedianSorted(sorted)
@@ -86,6 +92,8 @@ func meamedSorted(sorted []float64, m int) float64 {
 
 // windowWidth returns the maximum distance from med to the endpoints of the
 // window col[s : s+m] of a sorted column.
+//
+//dpbyz:hotpath
 func windowWidth(col []float64, med float64, s, m int) float64 {
 	lo := med - col[s]
 	hi := col[s+m-1] - med
@@ -125,6 +133,8 @@ func reduceSortedColumns(dst []float64, vs [][]float64, red colReduce) {
 // reduceSortedColumnsRange is the sequential kernel body over coordinates
 // [lo, hi); it gathers each column into pooled scratch, sorts it and applies
 // the reduction.
+//
+//dpbyz:hotpath
 func reduceSortedColumnsRange(dst []float64, vs [][]float64, red colReduce, lo, hi int) {
 	p := getCol(len(vs))
 	col := *p
@@ -157,6 +167,8 @@ func MeanInto(dst []float64, vs [][]float64) error {
 }
 
 // meanRange accumulates the mean over coordinates [lo, hi).
+//
+//dpbyz:hotpath
 func meanRange(dst []float64, vs [][]float64, lo, hi int) {
 	for j := lo; j < hi; j++ {
 		dst[j] = 0
@@ -216,6 +228,8 @@ func PairwiseSqDistsInto(dst [][]float64, vs [][]float64) [][]float64 {
 // pairwiseRows computes the rows owned by worker c out of w (rows c, c+w,
 // c+2w, …). The owner of row i writes dst[i][j] and the mirror dst[j][i]
 // for all j > i; no element is written by two workers.
+//
+//dpbyz:hotpath
 func pairwiseRows(dst [][]float64, vs [][]float64, c, w int) {
 	n := len(vs)
 	for i := c; i < n; i += w {

@@ -131,6 +131,8 @@ func RunStriped(w int, fn func(worker int)) {
 var colPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // getCol returns a pooled scratch slice of length n.
+//
+//dpbyz:scratch
 func getCol(n int) *[]float64 {
 	p := colPool.Get().(*[]float64)
 	if cap(*p) < n {

@@ -6,6 +6,8 @@
 // the plain variants allocate a fresh result. Unless stated otherwise,
 // functions panic only on programmer error (mismatched lengths), mirroring
 // the behaviour of the standard library's copy/append contract for slices.
+//
+//dpbyz:deterministic
 package vecmath
 
 import (
@@ -49,6 +51,8 @@ func CloneAll(vs [][]float64) [][]float64 {
 }
 
 // Fill sets every coordinate of v to x and returns v.
+//
+//dpbyz:hotpath
 func Fill(v []float64, x float64) []float64 {
 	for i := range v {
 		v[i] = x
@@ -67,6 +71,8 @@ func Add(a, b []float64) []float64 {
 }
 
 // AddInto stores a + b into dst and returns dst.
+//
+//dpbyz:hotpath
 func AddInto(dst, a, b []float64) []float64 {
 	assertSameLen(a, b)
 	assertSameLen(dst, a)
@@ -87,6 +93,8 @@ func Sub(a, b []float64) []float64 {
 }
 
 // SubInto stores a - b into dst and returns dst.
+//
+//dpbyz:hotpath
 func SubInto(dst, a, b []float64) []float64 {
 	assertSameLen(a, b)
 	assertSameLen(dst, a)
@@ -106,6 +114,8 @@ func Scale(s float64, v []float64) []float64 {
 }
 
 // ScaleInPlace multiplies v by s in place and returns v.
+//
+//dpbyz:hotpath
 func ScaleInPlace(s float64, v []float64) []float64 {
 	for i := range v {
 		v[i] *= s
@@ -116,6 +126,8 @@ func ScaleInPlace(s float64, v []float64) []float64 {
 // Axpy performs dst += alpha * x in place and returns dst. The loop is
 // unrolled four-wide; each coordinate is updated independently, so the
 // result is bit-identical to the plain loop.
+//
+//dpbyz:hotpath
 func Axpy(alpha float64, x, dst []float64) []float64 {
 	assertSameLen(x, dst)
 	i := 0
@@ -132,6 +144,8 @@ func Axpy(alpha float64, x, dst []float64) []float64 {
 }
 
 // Dot returns the inner product <a, b>.
+//
+//dpbyz:hotpath
 func Dot(a, b []float64) float64 {
 	assertSameLen(a, b)
 	var s float64
@@ -142,6 +156,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // SqNorm returns the squared Euclidean norm of v.
+//
+//dpbyz:hotpath
 func SqNorm(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -151,11 +167,15 @@ func SqNorm(v []float64) float64 {
 }
 
 // Norm returns the Euclidean (L2) norm of v.
+//
+//dpbyz:hotpath
 func Norm(v []float64) float64 {
 	return math.Sqrt(SqNorm(v))
 }
 
 // L1Norm returns the L1 norm of v.
+//
+//dpbyz:hotpath
 func L1Norm(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -165,6 +185,8 @@ func L1Norm(v []float64) float64 {
 }
 
 // LInfNorm returns the maximum absolute coordinate of v (0 for empty v).
+//
+//dpbyz:hotpath
 func LInfNorm(v []float64) float64 {
 	var m float64
 	for _, x := range v {
@@ -176,6 +198,8 @@ func LInfNorm(v []float64) float64 {
 }
 
 // Dist returns the Euclidean distance between a and b.
+//
+//dpbyz:hotpath
 func Dist(a, b []float64) float64 {
 	assertSameLen(a, b)
 	var s float64
@@ -187,6 +211,8 @@ func Dist(a, b []float64) float64 {
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
+//
+//dpbyz:hotpath
 func SqDist(a, b []float64) float64 {
 	assertSameLen(a, b)
 	var s float64
@@ -201,6 +227,8 @@ func SqDist(a, b []float64) float64 {
 // It returns v. Vectors already inside the ball are left untouched; this is
 // exactly the gradient-clipping operator from the paper (Assumption 1).
 // A non-positive max clips to the zero vector.
+//
+//dpbyz:hotpath
 func ClipL2(v []float64, max float64) []float64 {
 	if max <= 0 {
 		return Fill(v, 0)
@@ -239,6 +267,8 @@ func CoordMedian(vs [][]float64) ([]float64, error) {
 
 // CoordMedianInto stores the coordinate-wise median of vs into dst without
 // allocating gradient-sized scratch.
+//
+//dpbyz:hotpath
 func CoordMedianInto(dst []float64, vs [][]float64) error {
 	if _, err := checkDst(dst, vs); err != nil {
 		return err
@@ -295,6 +325,8 @@ func Diameter(vs [][]float64) float64 {
 }
 
 // AllFinite reports whether every coordinate of v is finite (no NaN/±Inf).
+//
+//dpbyz:hotpath
 func AllFinite(v []float64) bool {
 	for _, x := range v {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
@@ -318,6 +350,8 @@ func ApproxEqual(a, b []float64, tol float64) bool {
 }
 
 // Sum returns the sum of the coordinates of v.
+//
+//dpbyz:hotpath
 func Sum(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -328,6 +362,8 @@ func Sum(v []float64) float64 {
 
 // MinMax returns the smallest and largest coordinate of v.
 // It returns (0, 0) for an empty vector.
+//
+//dpbyz:hotpath
 func MinMax(v []float64) (lo, hi float64) {
 	if len(v) == 0 {
 		return 0, 0
