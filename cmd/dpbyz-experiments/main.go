@@ -8,7 +8,9 @@
 // table1 (VN-condition thresholds across model sizes), thm1 (error rate vs
 // model dimension), epssweep (the full version's ε sweep), hetsweep (the
 // heterogeneity sweep: Dirichlet label-skew β × aggregation rule under
-// attack with DP on) and spec (any JSON run spec — the same file
+// attack with DP on), stalesweep (the bounded-staleness sweep: per-round
+// straggler count × aggregation rule with exact delivery accounting) and
+// spec (any JSON run spec — the same file
 // dpbyz-train and the cluster binaries consume — repeated across seeds and
 // aggregated like a grid cell).
 package main
@@ -35,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|hetsweep|vnempirical|crossover|spec")
+		exp      = flag.String("exp", "all", "experiment: all|fig2|fig3|fig4|figmlp|table1|thm1|epssweep|hetsweep|stalesweep|vnempirical|crossover|spec")
 		specPath = flag.String("spec", "", "JSON run-spec file for -exp spec: the spec is repeated across -seeds and aggregated like a grid cell")
 		smoke    = flag.Bool("smoke", false, "run at reduced scale (fast sanity pass)")
 		steps    = flag.Int("steps", 0, "override step count (0 = experiment default)")
@@ -203,6 +205,24 @@ func run() error {
 		}
 		fmt.Println("Heterogeneity sweep (Dirichlet beta, alie attack, DP on)")
 		if err := experiments.WriteHeterogeneitySweepReport(os.Stdout, points); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want("stalesweep") {
+		ran++
+		fmt.Fprintln(os.Stderr, "running stalesweep...")
+		points, err := experiments.RunStalenessSweep(ctx, experiments.StalenessSweepSpec{
+			GARNames: []string{"mda", "trimmedmean"},
+			Scale:    scale,
+			Sched:    sched("stalesweep"),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Staleness sweep (quorum = n-f-s, late frames credited, alie attack, DP on)")
+		if err := experiments.WriteStalenessSweepReport(os.Stdout, points); err != nil {
 			return err
 		}
 		fmt.Println()

@@ -38,24 +38,29 @@ func run() error {
 		dumpSpec = flag.Bool("dump-spec", false, "print the run spec as JSON and exit without training")
 		backend  = flag.String("backend", "local", "execution backend: local|cluster (cluster = in-process distributed run over a chan transport)")
 
-		garName   = flag.String("gar", "mda", "aggregation rule (see -list)")
-		attackArg = flag.String("attack", "", "attack name, empty for the unattacked averaging baseline (see -list)")
-		workers   = flag.Int("n", 11, "total workers")
-		byz       = flag.Int("f", 5, "max Byzantine workers")
-		steps     = flag.Int("steps", 1000, "SGD steps T")
-		batch     = flag.Int("batch", 50, "batch size b")
-		lr        = flag.Float64("lr", 2, "learning rate")
-		momentum  = flag.Float64("momentum", 0.99, "worker-side momentum coefficient")
-		serverMom = flag.Bool("server-momentum", false, "apply momentum at the server instead of the workers")
-		postNoise = flag.Bool("post-noise-momentum", false, "theory-faithful ordering: per-sample clip, noise, then momentum")
-		modelName = flag.String("model", "logistic-mse", "model: logistic-mse|logistic-nll|mlp")
-		hidden    = flag.Int("hidden", 16, "hidden width for -model mlp")
-		clip      = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
-		dpOn      = flag.Bool("dp", false, "inject DP noise (see -mechanism)")
-		mechName  = flag.String("mechanism", "gaussian", "DP mechanism (see -list)")
-		epsilon   = flag.Float64("eps", 0.2, "per-step privacy epsilon")
-		delta     = flag.Float64("delta", 1e-6, "per-step privacy delta")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		garName    = flag.String("gar", "mda", "aggregation rule (see -list)")
+		attackArg  = flag.String("attack", "", "attack name, empty for the unattacked averaging baseline (see -list)")
+		workers    = flag.Int("n", 11, "total workers")
+		byz        = flag.Int("f", 5, "max Byzantine workers")
+		steps      = flag.Int("steps", 1000, "SGD steps T")
+		batch      = flag.Int("batch", 50, "batch size b")
+		lr         = flag.Float64("lr", 2, "learning rate")
+		momentum   = flag.Float64("momentum", 0.99, "worker-side momentum coefficient")
+		serverMom  = flag.Bool("server-momentum", false, "apply momentum at the server instead of the workers")
+		postNoise  = flag.Bool("post-noise-momentum", false, "theory-faithful ordering: per-sample clip, noise, then momentum")
+		modelName  = flag.String("model", "logistic-mse", "model: logistic-mse|logistic-nll|mlp")
+		hidden     = flag.Int("hidden", 16, "hidden width for -model mlp")
+		clip       = flag.Float64("clip", 0.01, "gradient clipping bound G_max")
+		dpOn       = flag.Bool("dp", false, "inject DP noise (see -mechanism)")
+		mechName   = flag.String("mechanism", "gaussian", "DP mechanism (see -list)")
+		epsilon    = flag.Float64("eps", 0.2, "per-step privacy epsilon")
+		delta      = flag.Float64("delta", 1e-6, "per-step privacy delta")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		bucket     = flag.Int("bucket", 0, "bucketed pre-aggregation: average seed-derived buckets of this size before the GAR (0 = flat topology)")
+		bucketSeed = flag.Uint64("bucket-seed", 0, "bucket-deal seed for -bucket (0 = derive from -seed)")
+		stragglers = flag.Int("stragglers", 0, "bounded-staleness quorum: fire each round at n-f-stragglers submissions (0 = fully synchronous)")
+		late       = flag.String("late", "credit", "late-frame policy with -stragglers: credit|discard")
+
 		partName  = flag.String("partition", "", "dataset partitioner: iid|dirichlet|shard|quantity (empty = IID, every worker samples the full split)")
 		partBeta  = flag.Float64("beta", 0, "Dirichlet concentration for -partition dirichlet (0 = default)")
 		partShard = flag.Int("shards", 0, "label-sorted shards per worker for -partition shard (0 = default)")
@@ -128,6 +133,12 @@ func run() error {
 				Name: *partName, Beta: *partBeta, Shards: *partShard, Alpha: *partAlpha,
 			}
 		}
+		if *bucket > 0 {
+			s.Topology = &dpbyz.TopologySpec{Name: "bucketed", BucketSize: *bucket, Seed: *bucketSeed}
+		}
+		if *stragglers > 0 {
+			s.Staleness = &dpbyz.StalenessSpec{Stragglers: *stragglers, Late: *late}
+		}
 	}
 	if *dumpSpec {
 		b, err := s.JSON()
@@ -181,8 +192,8 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "final: loss=%.6g acc=%.4f\n",
 		res.History.FinalLoss(), res.History.FinalAccuracy())
 	if res.Cluster != nil {
-		fmt.Fprintf(os.Stderr, "cluster: accepted=%d discarded=%d missed=%d\n",
-			res.Cluster.Accepted, res.Cluster.Discarded, res.Cluster.Missed)
+		fmt.Fprintf(os.Stderr, "cluster: accepted=%d discarded=%d missed=%d credited=%d\n",
+			res.Cluster.Accepted, res.Cluster.Discarded, res.Cluster.Missed, res.Cluster.Credited)
 	}
 	if s.Mechanism != nil && s.Mechanism.Epsilon > 0 && s.Mechanism.Delta > 0 {
 		bud := dpbyz.Budget{Epsilon: s.Mechanism.Epsilon, Delta: s.Mechanism.Delta}

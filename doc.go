@@ -100,6 +100,50 @@
 // permutation invariance, translation equivariance, single-outlier clipping
 // and an empirical (α, f) check on crafted adversarial inputs.
 //
+// # Topology and staleness
+//
+// Two further axes relax the flat, fully synchronous parameter-server
+// round the paper assumes, without touching the GAR registry or the
+// attack model:
+//
+//   - Topology (TopologySpec) selects bucketed pre-aggregation: a
+//     seed-derived permutation deals the n workers into m = ⌈n/s⌉ buckets
+//     of size s (BucketSize), each bucket is averaged, and the configured
+//     rule runs on the m bucket means at (m, f). Averaging is O(n·d) and
+//     the quadratic distance-based rules then pay O(m²·d) instead of
+//     O(n²·d) — at n=256, s=16 the measured Krum round is ~50x faster
+//     (BENCH_gar_bucketed.json) — at the cost of the inner rule needing
+//     2f+3 ≤ m (resp. the rule's own bound) to hold over buckets rather
+//     than workers. The deal is a pure function of the topology seed, so
+//     every backend computes the same buckets; gar.NewBucketed composes
+//     with any registered rule and rides the same pooled AggregateInto
+//     fast path.
+//
+//   - Staleness (StalenessSpec) runs bounded-staleness quorum rounds: the
+//     server fires each aggregation as soon as n − f − Stragglers
+//     submissions are in, never waiting on the slowest workers. A frame
+//     that arrives one round late is, per the Late policy, either
+//     credited into the worker's empty slot in the current round
+//     ("credit") or dropped ("discard"); frames more than one round stale
+//     are always dropped, and a cut worker's slot is zero-padded as the
+//     paper's §2.1 permits. Every (worker, round) pair lands in exactly
+//     one ledger — Result.Cluster reports Accepted, Missed, Discarded and
+//     Credited with the invariant Accepted + Missed = n × rounds and
+//     Credited ⊆ Accepted — on both the local backend (a deterministic
+//     arrival model drawing exactly Stragglers workers per round from a
+//     dedicated seed stream, bit-reproducible and checkpoint-resumable
+//     including in-flight frames) and the cluster (real arrival order;
+//     Quorum and LateCredit on ServerConfig).
+//
+// Both serialize like everything else:
+//
+//	s.Topology = &dpbyz.TopologySpec{Name: "bucketed", BucketSize: 4}
+//	s.Staleness = &dpbyz.StalenessSpec{Stragglers: 2, Late: "credit"}
+//
+// and sweep from the experiment layer: RunStalenessSweep (CLI:
+// dpbyz-experiments -exp stalesweep) measures accuracy and the
+// accounting ledger against the straggler count per rule.
+//
 // # Migrating from Train
 //
 // The pre-Spec entry point Train(ctx, TrainConfig) still works but is

@@ -27,6 +27,25 @@ type WorkerRunState struct {
 	Noise randx.StreamState `json:"noise"`
 	// Momentum is the worker-side momentum buffer (absent when disabled).
 	Momentum []float64 `json:"momentum,omitempty"`
+	// Stale is the worker's in-flight frame under the bounded-staleness
+	// model: a submission that missed its round's quorum and arrives one
+	// round late (absent when the worker has none in flight).
+	Stale []float64 `json:"stale,omitempty"`
+}
+
+// QuorumRunState is the bounded-staleness round state of a local-backend
+// run: the straggler-draw stream position and the delivery counters, so a
+// resumed run's straggler sets and accounting are bit-identical to the
+// uninterrupted run's.
+type QuorumRunState struct {
+	// StragglerRng is the straggler-set sampling stream position.
+	StragglerRng randx.StreamState `json:"stragglerRng"`
+	// Accepted/Missed/Discarded/Credited carry the delivery accounting up
+	// to the snapshot step (Accepted + Missed == n × Step).
+	Accepted  int `json:"accepted"`
+	Missed    int `json:"missed"`
+	Discarded int `json:"discarded"`
+	Credited  int `json:"credited"`
 }
 
 // RunState is a mid-run training snapshot taken at a step boundary: enough
@@ -57,6 +76,9 @@ type RunState struct {
 	// Workers holds the per-worker resumable state (local backend only; the
 	// networked backend's workers own their state in their own processes).
 	Workers []WorkerRunState `json:"workers,omitempty"`
+	// Quorum holds the bounded-staleness round state (local backend only,
+	// absent for fully synchronous runs).
+	Quorum *QuorumRunState `json:"quorum,omitempty"`
 }
 
 // Run-state validation errors.
@@ -88,6 +110,15 @@ func (s *RunState) Validate() error {
 		if w.Momentum != nil && len(w.Momentum) != len(s.Params) {
 			return fmt.Errorf("checkpoint: worker %d momentum dim %d, params dim %d",
 				i, len(w.Momentum), len(s.Params))
+		}
+		if w.Stale != nil && len(w.Stale) != len(s.Params) {
+			return fmt.Errorf("checkpoint: worker %d stale frame dim %d, params dim %d",
+				i, len(w.Stale), len(s.Params))
+		}
+	}
+	if q := s.Quorum; q != nil {
+		if q.Accepted < 0 || q.Missed < 0 || q.Discarded < 0 || q.Credited < 0 {
+			return errors.New("checkpoint: negative quorum accounting counter")
 		}
 	}
 	return nil

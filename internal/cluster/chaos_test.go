@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,6 +133,123 @@ func TestClusterChaos64Workers(t *testing.T) {
 			t.Errorf("crasher %d rounds = %d, want 3", i, workerRes[i].Rounds)
 		}
 	}
+}
+
+// TestClusterChaos512Quorum scales the chaos test to 512 workers in
+// bounded-staleness quorum mode: the server fires every round at
+// n − f − stragglers submissions instead of waiting out the timeout, so a
+// permanently slow 6% of the fleet cannot pace the run. The quorum cut must
+// be exact — every round commits with precisely Quorum slots filled — and
+// the accounting must balance to the last (worker, round) pair.
+func TestClusterChaos512Quorum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-worker run needs full rounds")
+	}
+	const (
+		n         = 512
+		f         = 16 // Byzantine workers (ids 0..15)
+		crashers  = 16 // ids 16..31, die after 3 rounds
+		straggler = 32 // ids 32..63, always far past the quorum cut
+		steps     = 5
+		quorum    = n - f - straggler // 464
+		delay     = 1200 * time.Millisecond
+	)
+	tr := NewChanTransport()
+	ds := testDataset(t)
+	m := testModel(t)
+
+	srv, err := NewServer(ServerConfig{
+		Addr:         "chaos512",
+		Transport:    tr,
+		GAR:          mustGAR(t, "trimmedmean", n, f),
+		Dim:          m.Dim(),
+		Steps:        steps,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 10 * time.Second,
+		Quorum:       quorum,
+		LateCredit:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := testContext(t)
+	defer cancel()
+	workerCtx, stopWorkers := testWorkerContext(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := WorkerConfig{
+			Addr:      "chaos512",
+			Transport: tr,
+			WorkerID:  i,
+			Model:     m,
+			Train:     ds,
+			BatchSize: 20,
+			ClipNorm:  0.01,
+			Seed:      uint64(i + 1),
+		}
+		switch {
+		case i < f:
+			cfg.Attack = attack.NewSignFlip()
+		case i < f+crashers:
+			cfg.MaxRounds = 3
+		case i < f+crashers+straggler:
+			cfg.RoundDelay = delay
+		}
+		wg.Add(1)
+		go func(cfg WorkerConfig) {
+			defer wg.Done()
+			_, _ = RunWorker(workerCtx, cfg)
+		}(cfg)
+	}
+
+	start := time.Now()
+	srvRes, srvErr := srv.Run(ctx)
+	elapsed := time.Since(start)
+	stopWorkers() // release stragglers sleeping out their RoundDelay
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	if got := srvRes.History.Len(); got != steps {
+		t.Errorf("server finished %d rounds, want %d", got, steps)
+	}
+	// Pacing: waiting on the stragglers would cost >= steps×delay = 6s; the
+	// quorum cut must finish well before that.
+	if limit := 5 * time.Second; elapsed >= limit {
+		t.Errorf("quorum run took %v, want < %v (server paced by stragglers)", elapsed, limit)
+	}
+	// The accounting balances exactly, and the quorum cut is exact: every
+	// round commits with precisely quorum filled slots, so the remaining
+	// n − quorum slots are zero-padded misses. Crashing honest workers only
+	// shift who fills the quorum (rounds 3+ have exactly quorum live fast
+	// workers), never how many.
+	if got, want := srvRes.AcceptedGradients+srvRes.MissedGradients, n*steps; got != want {
+		t.Errorf("accepted %d + missed %d = %d, want exactly %d",
+			srvRes.AcceptedGradients, srvRes.MissedGradients, got, want)
+	}
+	if want := (n - quorum) * steps; srvRes.MissedGradients != want {
+		t.Errorf("missed gradients = %d, want exactly %d", srvRes.MissedGradients, want)
+	}
+	if srvRes.CreditedGradients > srvRes.AcceptedGradients {
+		t.Errorf("credited %d exceeds accepted %d",
+			srvRes.CreditedGradients, srvRes.AcceptedGradients)
+	}
+	if !vecmath.AllFinite(srvRes.Params) {
+		t.Error("final params not finite")
+	}
+}
+
+// testContext bounds a chaos run; testWorkerContext derives the worker
+// context the test cancels once the server is done.
+func testContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 120*time.Second)
+}
+
+func testWorkerContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
 }
 
 // TestClusterSteadyStateAllocationGate pins the zero-alloc discipline end

@@ -48,9 +48,21 @@ type ServerConfig struct {
 	Momentum     float64
 	// InitParams optionally sets w_0 (defaults to the zero vector).
 	InitParams []float64
-	// RoundTimeout bounds each gradient-collection phase; missing gradients
-	// become zero vectors per §2.1 (default DefaultRoundTimeout).
+	// RoundTimeout bounds each round — parameter broadcast plus gradient
+	// collection share one wall-clock budget — and missing gradients become
+	// zero vectors per §2.1 (default DefaultRoundTimeout).
 	RoundTimeout time.Duration
+	// Quorum, when positive and below N, enables bounded-staleness rounds:
+	// the round commits as soon as Quorum submissions have arrived instead
+	// of waiting the full timeout for all N (typically n − f − stragglers).
+	// Workers that missed the cut are zero-padded and counted as missed;
+	// their in-flight frames land one round late.
+	Quorum int
+	// LateCredit accepts a frame that is exactly one round stale into the
+	// current round when the sender's slot is still empty — the
+	// bounded-staleness (bound 1) crediting rule. Older frames and
+	// duplicates are discarded either way.
+	LateCredit bool
 	// Logf, when non-nil, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 
@@ -103,6 +115,9 @@ func (c *ServerConfig) validate() error {
 	if c.StartStep < 0 || c.StartStep >= c.Steps {
 		return fmt.Errorf("cluster: start step %d outside [0, %d)", c.StartStep, c.Steps)
 	}
+	if c.Quorum < 0 || c.Quorum > c.GAR.N() {
+		return fmt.Errorf("cluster: quorum %d outside [0, n=%d]", c.Quorum, c.GAR.N())
+	}
 	if err := validateMaxFrame(c.MaxFrameBytes, c.Dim); err != nil {
 		return err
 	}
@@ -146,6 +161,9 @@ type ServerResult struct {
 	// stale or future steps, duplicates, spoofed worker ids, wrong
 	// dimensions, or floods beyond the per-worker buffer depth.
 	DiscardedSubmissions int
+	// CreditedGradients counts accepted submissions that were one round
+	// stale and credited under LateCredit (a subset of AcceptedGradients).
+	CreditedGradients int
 }
 
 // Server drives synchronous distributed SGD over a Transport.
@@ -302,7 +320,13 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		copy(velocity, s.cfg.InitVelocity)
 	}
 	history := &metrics.History{}
-	missed, accepted := 0, 0
+	missed, accepted, credited := 0, 0, 0
+	// target is how many filled slots commit a round: the quorum under
+	// bounded staleness, all n otherwise.
+	target := n
+	if s.cfg.Quorum > 0 && s.cfg.Quorum < n {
+		target = s.cfg.Quorum
+	}
 	submissions := make([][]float64, n)
 	// agg is reused every round via the GAR's pooled AggregateInto path, and
 	// zeros stands in for every timed-out worker (Aggregate never mutates its
@@ -329,6 +353,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			MissedGradients:      missed,
 			AcceptedGradients:    accepted,
 			DiscardedSubmissions: int(discarded.Load()),
+			CreditedGradients:    credited,
 		}
 	}
 
@@ -340,6 +365,10 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		default:
 		}
 
+		// One deadline governs the whole round: the broadcast sends and the
+		// collect timer both derive from it, so a slow broadcast eats into
+		// the collection budget instead of stretching the round to ~2×
+		// RoundTimeout.
 		deadline := time.Now().Add(s.cfg.RoundTimeout)
 		for _, wk := range workers {
 			msg := Params{Step: step, Weights: w}
@@ -352,24 +381,43 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			submissions[i] = nil
 		}
 		received := 0
-		timer.Reset(s.cfg.RoundTimeout)
+		timer.Reset(time.Until(deadline))
 	collect:
-		for received < n {
+		for received < target {
 			select {
 			case sub := <-inbox:
 				id := sub.src.id
-				if sub.step != step || submissions[id] != nil {
+				switch {
+				case sub.step == step && submissions[id] == nil:
+					submissions[id] = sub.grad
+					received++
+				case s.cfg.LateCredit && sub.step == step-1 && submissions[id] == nil:
+					// Bounded staleness 1: a frame computed against the
+					// previous round's parameters still carries signal —
+					// credit it to this round.
+					submissions[id] = sub.grad
+					received++
+					credited++
+				default:
 					discarded.Add(1)
 					s.logf("discarding stale/duplicate gradient (worker %d, step %d)", id, sub.step)
 					sub.src.free <- sub.grad
-					continue
 				}
-				submissions[id] = sub.grad
-				received++
 			case <-timer.C:
 				break collect
 			case <-ctx.Done():
-				break collect
+				// A cancelled round must not commit: no zero-padding, no
+				// aggregation, no history record, no hooks. Return the
+				// borrowed buffers and abort.
+				timer.Stop()
+				for i := range submissions {
+					if submissions[i] != nil {
+						byID[i].free <- submissions[i]
+						submissions[i] = nil
+					}
+				}
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
 			}
 		}
 		timer.Stop()

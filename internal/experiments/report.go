@@ -115,6 +115,24 @@ func WriteHeterogeneitySweepReport(w io.Writer, points []HeterogeneityPoint) err
 	return nil
 }
 
+// WriteStalenessSweepReport renders the bounded-staleness quorum sweep with
+// its exact delivery accounting (summed across seeds).
+func WriteStalenessSweepReport(w io.Writer, points []StalenessPoint) error {
+	if _, err := fmt.Fprintf(w, "%-14s %-6s %12s %14s %12s %10s %8s %10s %9s\n",
+		"gar", "s", "min-loss", "final-acc", "acc-std",
+		"accepted", "missed", "discarded", "credited"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-14s %-6d %12.5f %14.4f %12.4f %10d %8d %10d %9d\n",
+			p.GAR, p.Stragglers, p.MinLossMean, p.FinalAccMean, p.FinalAccStd,
+			p.Accepted, p.Missed, p.Discarded, p.Credited); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Summary produces a one-line qualitative verdict for a figure, used in
 // logs: which conditions converged and which did not, judged against the
 // unattacked clear baseline.

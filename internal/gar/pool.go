@@ -19,6 +19,7 @@ type scratch struct {
 	intA, intB []int       // subset-search index workspaces
 	scored     []phocasVal // Phocas per-coordinate selection column
 	selA, selB [][]float64 // gradient selections (headers only, no copies)
+	bucketFlat []float64   // Bucketed pre-aggregation means (m·d, selA holds the row headers)
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}

@@ -90,6 +90,33 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// The bounded-staleness overlay (straggler draw, slot rewrites, frame
+// stashing) rides the same hot path and must stay allocation-free too.
+func TestStepZeroAllocQuorum(t *testing.T) {
+	vecmath.SetParallelism(1)
+	defer vecmath.SetParallelism(0)
+	cfg := allocGateConfig(t, 0.99, false)
+	cfg.Stragglers = 2
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	for ; step < 32; step++ {
+		if err := r.step(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := r.step(step); err != nil {
+			t.Fatal(err)
+		}
+		step++
+	}); allocs != 0 {
+		t.Errorf("quorum steady-state step allocs/op = %v, want 0", allocs)
+	}
+}
+
 // The history back-buffer is sized up front, so appends never reallocate
 // within a run's configured step budget.
 func TestHistoryPreallocated(t *testing.T) {

@@ -50,6 +50,7 @@ const (
 	purposeBatch uint64 = iota + 1
 	purposeNoise
 	purposeAttack
+	purposeStraggler
 )
 
 // Config fully describes one training run. The zero value is not usable;
@@ -123,6 +124,20 @@ type Config struct {
 	// injection (paper: 1e-2). Zero disables clipping.
 	ClipNorm float64
 
+	// Stragglers, when positive, models bounded-staleness quorum rounds:
+	// each step a seed-derived uniform set of Stragglers workers misses the
+	// quorum cut (the server fires at n − Stragglers submissions), its slot
+	// is zero-padded and counted as missed, and its frame arrives one round
+	// late — credited to the next round (default) or discarded under
+	// LateDiscard. This mirrors the cluster server's Quorum/LateCredit
+	// semantics with a deterministic arrival model, so quorum sweeps run
+	// bit-identically on the local backend.
+	Stragglers int
+	// LateDiscard drops one-round-late frames instead of crediting them to
+	// the following round (the "discard" staleness policy). Meaningful only
+	// with Stragglers > 0.
+	LateDiscard bool
+
 	// Seed drives all randomness in the run.
 	Seed uint64
 	// InitParams optionally sets w_0; nil starts from the zero vector.
@@ -171,6 +186,16 @@ type Result struct {
 	Params []float64
 	// History holds the per-step metrics.
 	History *metrics.History
+	// Accepted, Missed, Discarded and Credited are the delivery accounting
+	// of the run, matching the cluster server's books: Accepted + Missed ==
+	// n × steps exactly, Credited ⊆ Accepted counts one-round-late frames
+	// credited under the staleness policy, and Discarded counts frames
+	// dropped as duplicates or under LateDiscard. In full synchrony
+	// (Stragglers == 0) every submission is accepted.
+	Accepted  int
+	Missed    int
+	Discarded int
+	Credited  int
 }
 
 // Validation errors.
@@ -243,6 +268,10 @@ func (c *Config) Validate() error {
 	if c.Attack != nil && c.GAR.F() == 0 {
 		return errors.New("simulate: attack configured but GAR tolerates f = 0")
 	}
+	if c.Stragglers < 0 || c.Stragglers >= c.GAR.N() {
+		return fmt.Errorf("simulate: straggler count %d outside [0, n=%d)",
+			c.Stragglers, c.GAR.N())
+	}
 	return nil
 }
 
@@ -287,6 +316,23 @@ type runner struct {
 	honest      [][]float64
 	predictor   model.Predictor
 	history     *metrics.History
+
+	// Bounded-staleness state (allocated only when cfg.Stragglers > 0).
+	// stale[i] buffers worker i's in-flight frame, hasPending marks it
+	// live, zeros pads missed slots, and crafted remembers the step's
+	// Byzantine vector so straggling Byzantine workers stash the right
+	// frame. The counters mirror the cluster server's accounting.
+	stragglerRng *randx.Stream
+	stragglerIdx []int
+	isStraggler  []bool
+	stale        [][]float64
+	hasPending   []bool
+	zeros        []float64
+	crafted      []float64
+	accepted     int
+	missed       int
+	discarded    int
+	credited     int
 }
 
 // newRunner validates cfg and allocates every buffer the run will touch, so
@@ -350,6 +396,17 @@ func newRunner(cfg Config) (*runner, error) {
 		}
 	}
 	r.predictor, _ = cfg.Model.(model.Predictor)
+	if cfg.Stragglers > 0 {
+		r.stragglerRng = root.Derive(purposeStraggler)
+		r.stragglerIdx = make([]int, cfg.Stragglers)
+		r.isStraggler = make([]bool, n)
+		r.stale = make([][]float64, n)
+		for i := range r.stale {
+			r.stale[i] = make([]float64, d)
+		}
+		r.hasPending = make([]bool, n)
+		r.zeros = make([]float64, d)
+	}
 	if cfg.Resume != nil {
 		if err := r.restore(cfg.Resume); err != nil {
 			return nil, err
@@ -386,7 +443,19 @@ func (r *runner) snapshot(stepsDone int) *checkpoint.RunState {
 		if wk.momentum != nil {
 			ws.Momentum = append([]float64(nil), wk.momentum...)
 		}
+		if r.cfg.Stragglers > 0 && r.hasPending[i] {
+			ws.Stale = append([]float64(nil), r.stale[i]...)
+		}
 		st.Workers[i] = ws
+	}
+	if r.cfg.Stragglers > 0 {
+		st.Quorum = &checkpoint.QuorumRunState{
+			StragglerRng: r.stragglerRng.State(),
+			Accepted:     r.accepted,
+			Missed:       r.missed,
+			Discarded:    r.discarded,
+			Credited:     r.credited,
+		}
 	}
 	return st
 }
@@ -443,6 +512,25 @@ func (r *runner) restore(st *checkpoint.RunState) error {
 			}
 			copy(wk.momentum, ws.Momentum)
 		}
+		if ws.Stale != nil {
+			if r.cfg.Stragglers == 0 {
+				return fmt.Errorf("simulate: resume worker %d has an in-flight frame but staleness is disabled", i)
+			}
+			copy(r.stale[i], ws.Stale)
+			r.hasPending[i] = true
+		}
+	}
+	if st.Quorum != nil {
+		if r.cfg.Stragglers == 0 {
+			return errors.New("simulate: resume carries quorum state but staleness is disabled")
+		}
+		r.stragglerRng.SetState(st.Quorum.StragglerRng)
+		r.accepted = st.Quorum.Accepted
+		r.missed = st.Quorum.Missed
+		r.discarded = st.Quorum.Discarded
+		r.credited = st.Quorum.Credited
+	} else if r.cfg.Stragglers > 0 && st.Step > 0 {
+		return errors.New("simulate: staleness configured but the snapshot carries no quorum state")
 	}
 	return nil
 }
@@ -507,6 +595,68 @@ func (r *runner) runWorker(i int) {
 	wk.out = out
 }
 
+// overlayStaleness rewrites the step's submission slots under the
+// bounded-staleness model, mirroring the cluster server's inbox order: a
+// worker's one-round-late frame is queued ahead of its fresh one, so a
+// credited late frame fills the slot and the fresh frame is either still
+// in flight (the worker straggles again) or dropped as a duplicate.
+// Stragglers' slots are zero-padded per §2.1 and counted as missed.
+//
+//dpbyz:hotpath
+func (r *runner) overlayStaleness() {
+	r.stragglerRng.Sample(r.stragglerIdx, r.n)
+	for i := range r.isStraggler {
+		r.isStraggler[i] = false
+	}
+	for _, i := range r.stragglerIdx {
+		r.isStraggler[i] = true
+	}
+	for i := 0; i < r.n; i++ {
+		pending := r.hasPending[i]
+		switch {
+		case pending && !r.cfg.LateDiscard:
+			r.submissions[i] = r.stale[i]
+			r.accepted++
+			r.credited++
+			if !r.isStraggler[i] {
+				// The fresh frame arrived behind the credited one: duplicate.
+				r.discarded++
+			}
+		case r.isStraggler[i]:
+			if pending {
+				r.discarded++ // LateDiscard drops the late arrival.
+			}
+			r.submissions[i] = r.zeros
+			r.missed++
+		default:
+			if pending {
+				r.discarded++ // LateDiscard drops the late arrival.
+			}
+			r.accepted++
+		}
+	}
+}
+
+// stashStragglers records each straggler's frame as in flight for the next
+// round. It runs after aggregation, when the submission buffers are free to
+// copy from.
+//
+//dpbyz:hotpath
+func (r *runner) stashStragglers() {
+	for i := 0; i < r.n; i++ {
+		if !r.isStraggler[i] {
+			r.hasPending[i] = false
+			continue
+		}
+		fresh := r.workers[i].out
+		if i < r.f && r.crafted != nil {
+			fresh = r.crafted
+		}
+		copy(r.stale[i], fresh)
+		r.hasPending[i] = true
+	}
+}
+
 // step advances the run by one synchronous SGD round.
 //
 //dpbyz:hotpath
@@ -544,6 +694,7 @@ func (r *runner) step(step int) error {
 
 	// Byzantine submissions: every Byzantine worker sends the same crafted
 	// vector, per the collusion model of §5.1.
+	r.crafted = nil
 	if cfg.Attack != nil {
 		crafted, err := cfg.Attack.Craft(r.honest, r.attackRng)
 		if err != nil {
@@ -552,13 +703,22 @@ func (r *runner) step(step int) error {
 		for i := 0; i < r.f; i++ {
 			r.submissions[i] = crafted
 		}
+		r.crafted = crafted
 	}
 	for i := r.computeFrom; i < r.n; i++ {
 		r.submissions[i] = r.workers[i].out
 	}
+	if cfg.Stragglers > 0 {
+		r.overlayStaleness()
+	} else {
+		r.accepted += r.n
+	}
 
 	if err := gar.AggregateInto(cfg.GAR, r.agg, r.submissions); err != nil {
 		return fmt.Errorf("simulate: step %d aggregate: %w", step, err)
+	}
+	if cfg.Stragglers > 0 {
+		r.stashStragglers()
 	}
 	// Stateful attackers observe the completed round: the accepted aggregate
 	// and the honest submissions it was crafted against. The nil check is the
@@ -630,7 +790,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	return &Result{Params: r.w, History: r.history}, nil
+	return &Result{
+		Params:    r.w,
+		History:   r.history,
+		Accepted:  r.accepted,
+		Missed:    r.missed,
+		Discarded: r.discarded,
+		Credited:  r.credited,
+	}, nil
 }
 
 // honestBatchLoss averages the model loss at w over the honest workers'

@@ -32,13 +32,15 @@ type Result struct {
 	// column is the server-side aggregate-norm proxy and Accuracy/VNRatio
 	// are NaN (the server holds no data).
 	History *metrics.History
-	// Cluster carries the cluster backend's delivery accounting; nil on the
-	// local backend.
+	// Cluster carries the run's delivery accounting: always set by the
+	// cluster backend, and by the local backend when the Spec enables
+	// bounded staleness (nil for fully synchronous local runs, where every
+	// submission is trivially accepted).
 	Cluster *ClusterStats
 }
 
-// ClusterStats is the cluster backend's exact delivery accounting: for a
-// completed run Accepted + Missed equals exactly n × rounds.
+// ClusterStats is the exact delivery accounting of a run: for a completed
+// run Accepted + Missed equals exactly n × rounds.
 type ClusterStats struct {
 	// Accepted counts gradients that entered aggregation.
 	Accepted int
@@ -46,10 +48,13 @@ type ClusterStats struct {
 	// spoofed, mis-dimensioned, or flooding).
 	Discarded int
 	// Missed counts (worker, round) pairs replaced by zero vectors after the
-	// round timeout.
+	// round timeout or quorum cut.
 	Missed int
+	// Credited counts accepted frames that arrived one round late and were
+	// credited under the staleness policy (a subset of Accepted).
+	Credited int
 	// WorkerRounds records how many rounds each in-process worker completed
-	// (nil when workers run in other processes).
+	// (nil when workers run in other processes, and on the local backend).
 	WorkerRounds []int
 }
 

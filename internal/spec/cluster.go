@@ -38,7 +38,7 @@ func serverConfig(s *Spec, o *runOptions, dim int, initParams []float64) cluster
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	return cluster.ServerConfig{
+	cfg := cluster.ServerConfig{
 		Addr:          addr,
 		Transport:     o.transport,
 		MaxFrameBytes: o.maxFrameBytes,
@@ -52,6 +52,11 @@ func serverConfig(s *Spec, o *runOptions, dim int, initParams []float64) cluster
 		Logf:          o.logf,
 		StepHook:      o.stepHook(),
 	}
+	if s.Staleness != nil {
+		cfg.Quorum = s.Quorum()
+		cfg.LateCredit = s.Staleness.late() == "credit"
+	}
+	return cfg
 }
 
 // workerConfig translates the Spec's worker half for worker id. The first
@@ -228,6 +233,7 @@ func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Resu
 			Accepted:     res.AcceptedGradients,
 			Discarded:    res.DiscardedSubmissions,
 			Missed:       res.MissedGradients,
+			Credited:     res.CreditedGradients,
 			WorkerRounds: rounds,
 		},
 	}, nil
@@ -271,6 +277,7 @@ func ServeSpec(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
 			Accepted:  res.AcceptedGradients,
 			Discarded: res.DiscardedSubmissions,
 			Missed:    res.MissedGradients,
+			Credited:  res.CreditedGradients,
 		},
 	}, nil
 }

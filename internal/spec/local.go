@@ -53,6 +53,12 @@ func (b *LocalBackend) config(s *Spec, o *runOptions) (simulate.Config, error) {
 		Parallel:          b.Parallel || o.parallel,
 		StepHook:          o.stepHook(),
 	}
+	if s.Staleness != nil {
+		// The local arrival model: exactly Stragglers workers miss each
+		// round's quorum cut, drawn from a dedicated seed-derived stream.
+		cfg.Stragglers = s.Staleness.Stragglers
+		cfg.LateDiscard = s.Staleness.late() == "discard"
+	}
 	return cfg, nil
 }
 
@@ -83,5 +89,14 @@ func (b *LocalBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Result
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Backend: b.Name(), Params: res.Params, History: res.History}, nil
+	out := &Result{Backend: b.Name(), Params: res.Params, History: res.History}
+	if s.Staleness != nil {
+		out.Cluster = &ClusterStats{
+			Accepted:  res.Accepted,
+			Discarded: res.Discarded,
+			Missed:    res.Missed,
+			Credited:  res.Credited,
+		}
+	}
+	return out, nil
 }

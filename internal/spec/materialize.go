@@ -174,7 +174,16 @@ func (s *Spec) materialize(o *runOptions) (*materialized, error) {
 	if o.initParams != nil {
 		m.initParams = o.initParams
 	}
-	m.gar, err = gar.New(s.GAR.Name, s.GAR.N, s.GAR.F)
+	if s.Topology.name() == "bucketed" {
+		// The topology axis composes at materialization: every backend sees
+		// the wrapped rule, so the bucket deal — a pure function of the
+		// topology seed — is identical across local, cluster and worker
+		// processes.
+		m.gar, err = gar.NewBucketed(s.GAR.Name, s.GAR.N, s.GAR.F,
+			s.Topology.BucketSize, s.Topology.seed(s.Seed))
+	} else {
+		m.gar, err = gar.New(s.GAR.Name, s.GAR.N, s.GAR.F)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,16 @@ type Spec struct {
 	// GAR references the aggregation rule by registry name, with the system
 	// size (n, f).
 	GAR GARSpec `json:"gar"`
+	// Topology, when non-nil, selects the server's aggregation topology:
+	// "bucketed" deals the workers into seed-derived buckets, averages
+	// within each bucket and runs the named GAR over the bucket means —
+	// cutting the quadratic rules from O(n²·d) to O((n/s)²·d). Absent (or
+	// "flat") aggregates all n submissions directly.
+	Topology *TopologySpec `json:"topology,omitempty"`
+	// Staleness, when non-nil, enables bounded-staleness quorum rounds: the
+	// server fires the aggregate once n − f − stragglers submissions arrive,
+	// and one-round-late frames are credited to the next round or discarded.
+	Staleness *StalenessSpec `json:"staleness,omitempty"`
 	// Attack, when non-nil, makes the first GAR.F workers Byzantine with the
 	// named attack.
 	Attack *AttackSpec `json:"attack,omitempty"`
@@ -149,6 +159,33 @@ type GARSpec struct {
 	N int `json:"n"`
 	// F is the number of Byzantine workers the rule must tolerate.
 	F int `json:"f"`
+}
+
+// TopologySpec selects the aggregation topology.
+type TopologySpec struct {
+	// Name is "flat" (default) or "bucketed".
+	Name string `json:"name"`
+	// BucketSize is the bucket width s for "bucketed" (0 selects
+	// gar.DefaultBucketSize). The wrapped rule runs over ⌈n/s⌉ bucket
+	// means and must satisfy its own n-vs-f constraint at that count.
+	BucketSize int `json:"bucketSize,omitempty"`
+	// Seed drives the deterministic worker→bucket deal (0 means the run
+	// Seed), so the same scenario can be re-dealt without changing the
+	// training streams.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// StalenessSpec enables bounded-staleness quorum rounds.
+type StalenessSpec struct {
+	// Stragglers is the per-round straggler budget s: the round commits
+	// once quorum = n − f − s submissions have arrived. It must leave a
+	// positive quorum.
+	Stragglers int `json:"stragglers"`
+	// Late selects the fate of a frame arriving exactly one round late:
+	// "credit" (default) accepts it into the current round when the
+	// sender's slot is empty; "discard" drops it. Older frames are always
+	// discarded.
+	Late string `json:"late,omitempty"`
 }
 
 // AttackSpec references a Byzantine attack by registry name.
@@ -285,6 +322,36 @@ func (m ModelSpec) name() string {
 	return m.Name
 }
 
+func (t *TopologySpec) name() string {
+	if t == nil || t.Name == "" {
+		return "flat"
+	}
+	return t.Name
+}
+
+func (t *TopologySpec) seed(runSeed uint64) uint64 {
+	if t.Seed != 0 {
+		return t.Seed
+	}
+	return runSeed
+}
+
+func (st *StalenessSpec) late() string {
+	if st == nil || st.Late == "" {
+		return "credit"
+	}
+	return st.Late
+}
+
+// Quorum returns the bounded-staleness commit threshold n − f − stragglers,
+// or 0 when the Spec is fully synchronous.
+func (s *Spec) Quorum() int {
+	if s.Staleness == nil {
+		return 0
+	}
+	return s.GAR.N - s.GAR.F - s.Staleness.Stragglers
+}
+
 // Validate checks the Spec for structural errors without materializing it.
 // Registry names are resolved, so an unknown GAR/attack/mechanism/model name
 // fails here rather than mid-run.
@@ -315,6 +382,31 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := gar.New(s.GAR.Name, s.GAR.N, s.GAR.F); err != nil {
 		return err
+	}
+	switch name := s.Topology.name(); name {
+	case "flat":
+	case "bucketed":
+		// Constructing the wrapper validates the inner rule's n-vs-f
+		// constraint at the bucket count ⌈n/s⌉.
+		if _, err := gar.NewBucketed(s.GAR.Name, s.GAR.N, s.GAR.F,
+			s.Topology.BucketSize, s.Topology.seed(s.Seed)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("spec: unknown topology %q", name)
+	}
+	if s.Staleness != nil {
+		if s.Staleness.Stragglers < 0 {
+			return fmt.Errorf("spec: negative staleness stragglers %d", s.Staleness.Stragglers)
+		}
+		if q := s.Quorum(); q < 1 {
+			return fmt.Errorf("spec: staleness quorum n − f − stragglers = %d must be positive", q)
+		}
+		switch late := s.Staleness.late(); late {
+		case "credit", "discard":
+		default:
+			return fmt.Errorf("spec: unknown staleness late policy %q", late)
+		}
 	}
 	if s.Partition != nil {
 		if _, err := partition.New(s.Partition.Name); err != nil {

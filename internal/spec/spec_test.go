@@ -16,7 +16,9 @@ func fullSpec() Spec {
 		Data:              DataSpec{Source: "synthetic-phishing", N: 600, Features: 10, Seed: 7, TrainN: 450},
 		Partition:         &PartitionSpec{Name: "dirichlet", Beta: 0.3, Seed: 11},
 		Model:             ModelSpec{Name: "mlp", Hidden: 8},
-		GAR:               GARSpec{Name: "trimmedmean", N: 7, F: 2},
+		GAR:               GARSpec{Name: "trimmedmean", N: 11, F: 2},
+		Topology:          &TopologySpec{Name: "bucketed", BucketSize: 2, Seed: 13},
+		Staleness:         &StalenessSpec{Stragglers: 2, Late: "discard"},
 		Attack:            &AttackSpec{Name: "alie"},
 		Mechanism:         &MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
 		Steps:             60,

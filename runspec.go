@@ -30,6 +30,13 @@ type (
 	PartitionSpec = spec.PartitionSpec
 	// GARSpec references the aggregation rule by registry name for (n, f).
 	GARSpec = spec.GARSpec
+	// TopologySpec selects the aggregation topology ("flat" or "bucketed"
+	// pre-aggregation over seed-derived worker buckets).
+	TopologySpec = spec.TopologySpec
+	// StalenessSpec enables bounded-staleness quorum rounds (the server
+	// fires at n − f − stragglers submissions; late frames are credited or
+	// discarded).
+	StalenessSpec = spec.StalenessSpec
 	// AttackSpec references a Byzantine attack by registry name.
 	AttackSpec = spec.AttackSpec
 	// MechanismSpec references a DP mechanism by registry name.
