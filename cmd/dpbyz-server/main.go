@@ -86,6 +86,10 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "done: %d rounds, %d missed gradients, %d discarded\n",
 		res.History.Len(), res.Cluster.Missed, res.Cluster.Discarded)
+	for _, e := range res.Cluster.Epochs {
+		fmt.Fprintf(os.Stderr, "epoch %d: n=%d f=%d rounds=%d accepted=%d missed=%d\n",
+			e.Epoch, e.N, e.F, e.Rounds, e.Accepted, e.Missed)
+	}
 	for i, w := range res.Params {
 		fmt.Println(strconv.Itoa(i) + "," + strconv.FormatFloat(w, 'g', 17, 64))
 	}

@@ -61,6 +61,11 @@ func run() error {
 		stragglers = flag.Int("stragglers", 0, "bounded-staleness quorum: fire each round at n-f-stragglers submissions (0 = fully synchronous)")
 		late       = flag.String("late", "credit", "late-frame policy with -stragglers: credit|discard")
 
+		epochRounds = flag.Int("epoch-rounds", 0, "epoched membership: re-derive the worker view, f and the GAR every k rounds (0 = fixed cohort)")
+		minWorkers  = flag.Int("min-workers", 0, "membership population floor (0 = -n)")
+		maxWorkers  = flag.Int("max-workers", 0, "membership population cap (0 = -n)")
+		fRatio      = flag.Float64("f-ratio", 0, "membership Byzantine fraction; each epoch tolerates floor(f-ratio*n_e) (0 = -f/-n)")
+
 		partName  = flag.String("partition", "", "dataset partitioner: iid|dirichlet|shard|quantity (empty = IID, every worker samples the full split)")
 		partBeta  = flag.Float64("beta", 0, "Dirichlet concentration for -partition dirichlet (0 = default)")
 		partShard = flag.Int("shards", 0, "label-sorted shards per worker for -partition shard (0 = default)")
@@ -139,6 +144,26 @@ func run() error {
 		if *stragglers > 0 {
 			s.Staleness = &dpbyz.StalenessSpec{Stragglers: *stragglers, Late: *late}
 		}
+		if *epochRounds > 0 {
+			m := &dpbyz.MembershipSpec{
+				MinWorkers:  *minWorkers,
+				MaxWorkers:  *maxWorkers,
+				FRatio:      *fRatio,
+				EpochRounds: *epochRounds,
+			}
+			if m.MinWorkers == 0 {
+				m.MinWorkers = s.GAR.N
+			}
+			if m.MaxWorkers == 0 {
+				m.MaxWorkers = s.GAR.N
+			}
+			if m.FRatio == 0 && s.GAR.F > 0 {
+				// Default to the declared (n, f): the smallest ratio whose
+				// floor at n recovers f.
+				m.FRatio = float64(s.GAR.F) / float64(s.GAR.N)
+			}
+			s.Membership = m
+		}
 	}
 	if *dumpSpec {
 		b, err := s.JSON()
@@ -194,6 +219,10 @@ func run() error {
 	if res.Cluster != nil {
 		fmt.Fprintf(os.Stderr, "cluster: accepted=%d discarded=%d missed=%d credited=%d\n",
 			res.Cluster.Accepted, res.Cluster.Discarded, res.Cluster.Missed, res.Cluster.Credited)
+		for _, e := range res.Cluster.Epochs {
+			fmt.Fprintf(os.Stderr, "epoch %d: n=%d f=%d rounds=%d accepted=%d missed=%d\n",
+				e.Epoch, e.N, e.F, e.Rounds, e.Accepted, e.Missed)
+		}
 	}
 	if s.Mechanism != nil && s.Mechanism.Epsilon > 0 && s.Mechanism.Delta > 0 {
 		bud := dpbyz.Budget{Epsilon: s.Mechanism.Epsilon, Delta: s.Mechanism.Delta}

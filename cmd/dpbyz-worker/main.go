@@ -61,6 +61,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "worker %d finished after %d rounds\n", *id, res.Rounds)
+	fmt.Fprintf(os.Stderr, "worker %d finished after %d rounds", *id, res.Rounds)
+	if res.Rejoins > 0 || res.FastForwarded > 0 {
+		fmt.Fprintf(os.Stderr, " (%d rejoins, %d rounds fast-forwarded)",
+			res.Rejoins, res.FastForwarded)
+	}
+	fmt.Fprintln(os.Stderr)
 	return nil
 }

@@ -144,6 +144,67 @@
 // dpbyz-experiments -exp stalesweep) measures accuracy and the
 // accounting ledger against the straggler count per rule.
 //
+// # Membership, churn and recovery
+//
+// The Membership axis (MembershipSpec) drops the assumption that the
+// worker set fixed at server start survives the whole run, replacing it
+// with epoched membership in the spirit of the self-stabilizing channel
+// literature: the adversary — or plain operational churn — chooses which
+// workers are present, and the server re-derives its threat model from
+// whoever actually is.
+//
+//   - Epoch lifecycle: the run is partitioned into EpochRounds-round
+//     epochs. Within an epoch the member view is frozen; at each boundary
+//     the server admits workers that joined since the last one, evicts
+//     members whose connection died or whose missed-round streak reached
+//     the eviction threshold, and re-derives the epoch's Byzantine
+//     allowance f_e = ⌊FRatio·n_e⌋, its quorum and a freshly materialized
+//     aggregation rule for (n_e, f_e) — the GAR's breakdown point tracks
+//     the live population instead of a stale initial cohort. A boundary
+//     that would leave fewer than MinWorkers live members aborts the run
+//     rather than silently training on a sliver. Every epoch keeps an
+//     exact ledger (EpochStat): Accepted_e + Missed_e = n_e × rounds_e,
+//     per epoch and summed over the run (Result.Cluster.Epochs).
+//
+//   - Rejoin fast-forward: a worker whose connection breaks redials (with
+//     capped exponential backoff — a transient refusal at startup does not
+//     kill the run) and presents its worker id and last-seen round in a
+//     join frame. The server answers at the next boundary with a welcome
+//     frame carrying the current round, epoch, parameters and momentum
+//     velocity; the worker then replays its private randomness — one batch
+//     draw and one noise perturbation per missed round — so its streams
+//     re-align with the cohort and it resumes bit-identically instead of
+//     submitting stale gradients. Fresh joiners send the same frame with
+//     no last round and enter at the boundary like any rejoiner.
+//
+//   - Frame idempotency: every frame is round-tagged, so correctness never
+//     leans on TCP ordering. Duplicated parameter broadcasts are skipped
+//     (a worker never recomputes a round it already submitted), gradients
+//     for past rounds are discarded or credited under the staleness
+//     policy exactly once, and a redial replaces the member's previous
+//     connection (newest wins) rather than double-registering it.
+//
+//   - Model-checked safety: internal/membership contains an explicit
+//     state machine of the round/epoch protocol whose reachable state
+//     space is exhaustively explored in a tier-1 property test over
+//     crash/rejoin/partition schedules, asserting the ledger always
+//     balances, no round commits two aggregates, and every epoch's view
+//     is a subset of handshaken workers — the executable analogue of the
+//     TLA+ safety specs distributed protocols usually keep on the side.
+//
+// The local backend mirrors the deterministic half on its fixed cohort —
+// epoch scheduling, per-epoch GAR re-materialization, per-epoch ledgers,
+// and checkpoint/resume of the epoch position (RunState.Membership) — so a
+// membership Spec runs bit-identically there, while actual churn
+// (join/leave/rejoin) exercises the cluster backend:
+//
+//	s.Membership = &dpbyz.MembershipSpec{
+//		MinWorkers: 9, MaxWorkers: 12, FRatio: 0.2, EpochRounds: 50,
+//	}
+//
+// GAR.N stays the initial cohort size and must satisfy
+// ⌊FRatio·GAR.N⌋ = GAR.F, so the declared rule is exactly epoch 0's.
+//
 // # Migrating from Train
 //
 // The pre-Spec entry point Train(ctx, TrainConfig) still works but is

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"dpbyz/internal/attack"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/randx"
 )
 
@@ -48,6 +49,23 @@ type QuorumRunState struct {
 	Credited  int `json:"credited"`
 }
 
+// MembershipRunState is the epoched-membership position of a run: the
+// current epoch's frozen view and every epoch's ledger so far. Restoring
+// it re-enters the interrupted epoch with the same view, the same
+// re-derived f, and books that still balance Accepted_e + Missed_e ==
+// n_e × rounds_e across the interrupt.
+type MembershipRunState struct {
+	// Epoch is the current epoch index at the snapshot step.
+	Epoch int `json:"epoch"`
+	// View is the current epoch's frozen member view (sorted worker ids).
+	View []int `json:"view"`
+	// F is the current epoch's Byzantine allowance ⌊FRatio·n⌋.
+	F int `json:"f"`
+	// Epochs carries the per-epoch ledgers up to the snapshot, the
+	// in-progress epoch last (its Rounds count only the completed rounds).
+	Epochs []membership.EpochStat `json:"epochs,omitempty"`
+}
+
 // RunState is a mid-run training snapshot taken at a step boundary: enough
 // state to resume the run and produce bit-identical results (for the
 // in-process backend, whose execution is a pure function of this state) or
@@ -79,6 +97,9 @@ type RunState struct {
 	// Quorum holds the bounded-staleness round state (local backend only,
 	// absent for fully synchronous runs).
 	Quorum *QuorumRunState `json:"quorum,omitempty"`
+	// Membership holds the epoched-membership position (absent for
+	// fixed-cohort runs).
+	Membership *MembershipRunState `json:"membership,omitempty"`
 }
 
 // Run-state validation errors.
@@ -119,6 +140,24 @@ func (s *RunState) Validate() error {
 	if q := s.Quorum; q != nil {
 		if q.Accepted < 0 || q.Missed < 0 || q.Discarded < 0 || q.Credited < 0 {
 			return errors.New("checkpoint: negative quorum accounting counter")
+		}
+	}
+	if m := s.Membership; m != nil {
+		if m.Epoch < 0 {
+			return fmt.Errorf("checkpoint: negative epoch %d", m.Epoch)
+		}
+		for i, id := range m.View {
+			if id < 0 {
+				return fmt.Errorf("checkpoint: negative worker id in view")
+			}
+			if i > 0 && m.View[i-1] >= id {
+				return errors.New("checkpoint: membership view not strictly sorted")
+			}
+		}
+		// Every epoch's ledger — the partial current one included — must
+		// balance: each completed round contributes exactly n_e slots.
+		if err := membership.BalanceEpochs(m.Epochs); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
 	return nil

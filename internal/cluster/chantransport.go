@@ -63,11 +63,42 @@ type FaultConfig struct {
 	// which is a connection-establishment failure, not the round-level
 	// chaos these faults are meant to exercise.
 	SkipFirst int
+	// Partitions lists deterministic partition windows: every frame whose
+	// 1-based index (counted after SkipFirst) falls inside a window is
+	// dropped, then the link heals. In the steady state the protocol
+	// writes exactly one frame per round per direction, so frame index
+	// lines up with round number and churn schedules become scriptable:
+	// applying the same window to both directions of a dial models a
+	// network partition over rounds [From, To]. Unlike DropProb this is
+	// not probabilistic — the window is exact, which is what lets churn
+	// tests assert per-epoch books instead of expectations.
+	Partitions []PartitionWindow
 }
+
+// PartitionWindow drops frames From..To inclusive (1-based, counted after
+// SkipFirst) on one direction of a connection.
+type PartitionWindow struct {
+	From, To int
+}
+
+// contains reports whether 1-based frame index i falls in the window.
+func (w PartitionWindow) contains(i int) bool { return i >= w.From && i <= w.To }
 
 func (f FaultConfig) active() bool {
 	return f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0 ||
-		f.CorruptProb > 0 || f.TruncateProb > 0 || f.Delay > 0 || f.DelayJitter > 0
+		f.CorruptProb > 0 || f.TruncateProb > 0 || f.Delay > 0 || f.DelayJitter > 0 ||
+		len(f.Partitions) > 0
+}
+
+// partitioned reports whether the idx-th post-SkipFirst frame (1-based)
+// falls inside any partition window.
+func (f FaultConfig) partitioned(idx int) bool {
+	for _, w := range f.Partitions {
+		if w.contains(idx) {
+			return true
+		}
+	}
+	return false
 }
 
 // WithFaults returns a view of the transport whose future Dials inject the
@@ -251,6 +282,11 @@ func (p *chanPipe) write(frame []byte, deadline time.Time) (int, error) {
 		if err := p.enqueue(buf, deadline); err != nil {
 			return 0, err
 		}
+		return n, nil
+	}
+	if f.partitioned(p.sent - f.SkipFirst) {
+		p.putBuf(buf)
+		p.wmu.Unlock()
 		return n, nil
 	}
 	if f.TruncateProb > 0 && p.rng.Float64() < f.TruncateProb && n > 0 {

@@ -246,6 +246,46 @@ func TestChanTransportCorruptAndTruncate(t *testing.T) {
 	})
 }
 
+// TestChanTransportPartitionWindow checks the deterministic partition
+// fault: frames whose post-SkipFirst index falls inside a window vanish,
+// frames outside it pass, and the link heals after the window — exactly,
+// not probabilistically.
+func TestChanTransportPartitionWindow(t *testing.T) {
+	t.Run("window", func(t *testing.T) {
+		a, b := rawPair(t, FaultConfig{Partitions: []PartitionWindow{{From: 2, To: 4}}}, FaultConfig{})
+		for _, s := range []string{"f1", "f2", "f3", "f4", "f5", "f6"} {
+			if _, err := a.Write([]byte(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(time.Second)
+		for _, want := range []string{"f1", "f5", "f6"} {
+			got, err := readFrameBytes(t, b, deadline)
+			if err != nil || string(got) != want {
+				t.Fatalf("got %q, %v, want %q", got, err, want)
+			}
+		}
+		if _, err := readFrameBytes(t, b, time.Now().Add(50*time.Millisecond)); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("partitioned frame was delivered (err=%v)", err)
+		}
+	})
+	t.Run("skip-first offsets the window", func(t *testing.T) {
+		a, b := rawPair(t, FaultConfig{SkipFirst: 2, Partitions: []PartitionWindow{{From: 1, To: 2}}}, FaultConfig{})
+		for _, s := range []string{"h1", "h2", "d1", "d2", "p1"} {
+			if _, err := a.Write([]byte(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(time.Second)
+		for _, want := range []string{"h1", "h2", "p1"} {
+			got, err := readFrameBytes(t, b, deadline)
+			if err != nil || string(got) != want {
+				t.Fatalf("got %q, %v, want %q", got, err, want)
+			}
+		}
+	})
+}
+
 func TestChanTransportDelay(t *testing.T) {
 	a, b := rawPair(t, FaultConfig{Seed: 1, Delay: 80 * time.Millisecond}, FaultConfig{})
 	start := time.Now()

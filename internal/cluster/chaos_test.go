@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -10,6 +11,9 @@ import (
 
 	"dpbyz/internal/attack"
 	"dpbyz/internal/data"
+	"dpbyz/internal/gar"
+	"dpbyz/internal/membership"
+	"dpbyz/internal/metrics"
 	"dpbyz/internal/model"
 	"dpbyz/internal/vecmath"
 )
@@ -238,6 +242,252 @@ func TestClusterChaos512Quorum(t *testing.T) {
 	}
 	if !vecmath.AllFinite(srvRes.Params) {
 		t.Error("final params not finite")
+	}
+}
+
+// TestClusterChaosChurn is the 64-worker chaos test under epoched
+// membership: on top of Byzantine attackers and lossy links, the fleet now
+// churns — workers crash for good, workers kill their own connections and
+// rejoin, a dead worker is restarted epochs later under the same id, and a
+// fresh worker joins mid-run. The server must re-derive f and the view at
+// every boundary, and no matter how the population moved, the per-epoch
+// ledger Accepted_e + Missed_e == n_e × rounds_e must balance to the last
+// (worker, round) pair.
+func TestClusterChaosChurn(t *testing.T) {
+	const (
+		maxN        = 64
+		atk         = 8  // ids 0..7: sign-flip Byzantine
+		crashers    = 4  // ids 8..11: die after 4 rounds, never return
+		droppers    = 4  // ids 12..15: kill their own conn mid-run, rejoin
+		restarterID = 16 // crashes, restarted fresh once the gate opens
+		faulty      = 8  // ids 17..24: honest over lossy/duplicating links
+		// ids 25..62 honest and clean; id 63 joins only mid-run.
+		lateID      = 63
+		steps       = 18
+		epochRounds = 3
+		fratio      = 0.15
+	)
+	tr := NewChanTransport()
+	ds := testDataset(t)
+	m := testModel(t)
+
+	restartGate := make(chan struct{})
+	lateGate := make(chan struct{})
+	srvCfg := ServerConfig{
+		Addr:      "churn",
+		Transport: tr,
+		Membership: &MembershipConfig{
+			MinWorkers:  40,
+			MaxWorkers:  maxN,
+			FRatio:      fratio,
+			EpochRounds: epochRounds,
+			NewGAR: func(n, f int) (gar.GAR, error) {
+				return gar.New("trimmedmean", n, f)
+			},
+		},
+		Dim:          m.Dim(),
+		Steps:        steps,
+		LearningRate: 2,
+		Momentum:     0.9,
+		RoundTimeout: 300 * time.Millisecond,
+		StepHook: func(rec metrics.StepRecord, w []float64) error {
+			switch rec.Step {
+			case 2:
+				close(lateGate)
+			case 8:
+				close(restartGate)
+			}
+			return nil
+		},
+	}
+	srv, err := NewServer(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := testContext(t)
+	defer cancel()
+	baseWorker := func(id int) WorkerConfig {
+		return WorkerConfig{
+			Addr:       "churn",
+			Transport:  tr,
+			WorkerID:   id,
+			Model:      m,
+			Train:      ds,
+			BatchSize:  20,
+			ClipNorm:   0.01,
+			Seed:       uint64(id + 1),
+			Membership: true,
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*WorkerResult, maxN)
+	workerErrs := make([]error, maxN)
+	start := func(id int, cfg WorkerConfig, gate chan struct{}) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if gate != nil {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					workerErrs[id] = ctx.Err()
+					return
+				}
+			}
+			results[id], workerErrs[id] = RunWorker(ctx, cfg)
+		}()
+	}
+	for id := 0; id < maxN; id++ {
+		cfg := baseWorker(id)
+		switch {
+		case id < atk:
+			cfg.Attack = attack.NewSignFlip()
+		case id < atk+crashers:
+			cfg.MaxRounds = 4
+		case id < atk+crashers+droppers:
+			cfg.DropConnAfter = 4
+		case id == restarterID:
+			cfg.MaxRounds = 3
+		case id < restarterID+1+faulty:
+			cfg.Transport = tr.WithFaults(
+				FaultConfig{Seed: uint64(100 + id), SkipFirst: 1, DropProb: 0.1, DupProb: 0.15, ReorderProb: 0.15, Delay: 2 * time.Millisecond, DelayJitter: 10 * time.Millisecond},
+				FaultConfig{Seed: uint64(200 + id), SkipFirst: 1, DropProb: 0.1, DupProb: 0.15, ReorderProb: 0.15, Delay: 2 * time.Millisecond, DelayJitter: 10 * time.Millisecond},
+			)
+		}
+		switch id {
+		case restarterID:
+			// First life: crash after 3 rounds. Second life: a fresh process
+			// under the same id, launched two-plus epochs later.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := RunWorker(ctx, cfg); err != nil {
+					workerErrs[restarterID] = fmt.Errorf("crash phase: %w", err)
+					return
+				}
+				select {
+				case <-restartGate:
+				case <-ctx.Done():
+					workerErrs[restarterID] = ctx.Err()
+					return
+				}
+				results[restarterID], workerErrs[restarterID] = RunWorker(ctx, baseWorker(restarterID))
+			}()
+		case lateID:
+			start(id, cfg, lateGate)
+		default:
+			start(id, cfg, nil)
+		}
+	}
+
+	srvRes, srvErr := srv.Run(ctx)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	if got := srvRes.History.Len(); got != steps {
+		t.Errorf("server finished %d rounds, want %d", got, steps)
+	}
+	// The honest majority must still learn through the churn.
+	loss := model.DatasetLoss(m, srvRes.Params, ds)
+	if loss >= 0.25 {
+		t.Errorf("final dataset loss %v did not improve on the 0.25 start", loss)
+	}
+	// Exact per-epoch accounting: every epoch's ledger balances against its
+	// realized view, and the epochs tile the run.
+	if err := membership.BalanceEpochs(srvRes.Epochs); err != nil {
+		t.Errorf("epoch books: %v", err)
+	}
+	totalRounds, totalSlots := 0, 0
+	for _, st := range srvRes.Epochs {
+		totalRounds += st.Rounds
+		totalSlots += st.N * st.Rounds
+		// f is re-derived from the live population every epoch.
+		if want := int(fratio*float64(st.N) + 1e-9); st.F != want {
+			t.Errorf("epoch %d: f = %d for n = %d, want %d", st.Epoch, st.F, st.N, want)
+		}
+	}
+	if totalRounds != steps {
+		t.Errorf("epoch rounds sum to %d, want %d", totalRounds, steps)
+	}
+	if got := srvRes.AcceptedGradients + srvRes.MissedGradients; got != totalSlots {
+		t.Errorf("accepted %d + missed %d = %d, want exactly %d (Σ n_e × rounds_e)",
+			srvRes.AcceptedGradients, srvRes.MissedGradients, got, totalSlots)
+	}
+	// Churn is visible in the books: crashers really die...
+	for id := atk; id < atk+crashers; id++ {
+		if workerErrs[id] != nil {
+			t.Errorf("crasher %d: %v", id, workerErrs[id])
+		} else if results[id].Rounds != 4 {
+			t.Errorf("crasher %d rounds = %d, want 4", id, results[id].Rounds)
+		}
+	}
+	last := srvRes.Epochs[len(srvRes.Epochs)-1]
+	for id := atk; id < atk+crashers; id++ {
+		if viewOf(last).Contains(id) {
+			t.Errorf("crashed worker %d still in the final view", id)
+		}
+	}
+	// ...droppers rejoin and keep their stream position exact...
+	for id := atk + crashers; id < atk+crashers+droppers; id++ {
+		if workerErrs[id] != nil {
+			t.Errorf("dropper %d: %v", id, workerErrs[id])
+			continue
+		}
+		r := results[id]
+		if r.Rejoins < 1 {
+			t.Errorf("dropper %d rejoins = %d, want >= 1", id, r.Rejoins)
+		}
+		if r.Rounds+r.FastForwarded != steps {
+			t.Errorf("dropper %d rounds %d + fast-forwarded %d != %d",
+				id, r.Rounds, r.FastForwarded, steps)
+		}
+		if !vecmath.ApproxEqual(r.FinalParams, srvRes.Params, 0) {
+			t.Errorf("dropper %d final params differ from server", id)
+		}
+	}
+	// ...the restarted worker comes back under its old id...
+	if workerErrs[restarterID] != nil {
+		t.Errorf("restarter: %v", workerErrs[restarterID])
+	} else {
+		r := results[restarterID]
+		if r.FastForwarded == 0 || r.Rounds+r.FastForwarded != steps {
+			t.Errorf("restarter rounds %d + fast-forwarded %d != %d",
+				r.Rounds, r.FastForwarded, steps)
+		}
+		if !viewOf(last).Contains(restarterID) {
+			t.Errorf("restarted worker %d missing from the final view", restarterID)
+		}
+	}
+	// ...and the late joiner is admitted at a boundary and catches up.
+	if workerErrs[lateID] != nil {
+		t.Errorf("late joiner: %v", workerErrs[lateID])
+	} else {
+		r := results[lateID]
+		if r.FastForwarded < epochRounds || r.Rounds+r.FastForwarded != steps {
+			t.Errorf("late joiner rounds %d + fast-forwarded %d, want sum %d with >= %d replayed",
+				r.Rounds, r.FastForwarded, steps, epochRounds)
+		}
+		if !viewOf(last).Contains(lateID) {
+			t.Errorf("late joiner %d missing from the final view", lateID)
+		}
+	}
+	// Clean honest workers ride through every epoch untouched.
+	for id := restarterID + 1 + faulty; id < lateID; id++ {
+		if workerErrs[id] != nil {
+			t.Errorf("clean worker %d: %v", id, workerErrs[id])
+			continue
+		}
+		r := results[id]
+		if r.Rounds+r.FastForwarded != steps {
+			t.Errorf("clean worker %d rounds %d + fast-forwarded %d != %d",
+				id, r.Rounds, r.FastForwarded, steps)
+		}
+		if !vecmath.ApproxEqual(r.FinalParams, srvRes.Params, 0) {
+			t.Errorf("clean worker %d final params differ from server", id)
+		}
 	}
 }
 

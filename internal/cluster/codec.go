@@ -38,8 +38,14 @@ const (
 	msgHello
 	msgParams
 	msgGradient
+	msgJoin
+	msgWelcome
 	msgTypeEnd // first invalid value
 )
+
+// joinFreshRound is the wire sentinel (uint32 all-ones) a fresh joiner
+// sends as its last-seen round; it decodes to Join.LastRound == -1.
+const joinFreshRound = math.MaxUint32
 
 // Codec errors. ErrFrameTooLarge is the allocation guard; the others mean
 // the stream is corrupt or the peer speaks a different protocol.
@@ -68,6 +74,8 @@ type message struct {
 	hello    Hello
 	params   Params
 	gradient Gradient
+	join     Join
+	welcome  Welcome
 }
 
 // releaseScratch returns the message's payload buffers to the shared
@@ -75,8 +83,12 @@ type message struct {
 func (m *message) releaseScratch() {
 	putScratch(m.params.Weights)
 	putScratch(m.gradient.Grad)
+	putScratch(m.welcome.Weights)
+	putScratch(m.welcome.Velocity)
 	m.params.Weights = nil
 	m.gradient.Grad = nil
+	m.welcome.Weights = nil
+	m.welcome.Velocity = nil
 }
 
 // appendHeader writes the fixed frame header for a payload of n bytes.
@@ -119,6 +131,31 @@ func appendGradientFrame(dst []byte, g Gradient) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(g.Step))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.Grad)))
 	return appendFloat64s(dst, g.Grad)
+}
+
+// appendJoinFrame encodes a complete join frame.
+//
+//dpbyz:hotpath
+func appendJoinFrame(dst []byte, j Join) []byte {
+	dst = appendHeader(dst, msgJoin, 8)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(j.WorkerID))
+	last := uint32(joinFreshRound)
+	if j.LastRound >= 0 {
+		last = uint32(j.LastRound)
+	}
+	return binary.LittleEndian.AppendUint32(dst, last)
+}
+
+// appendWelcomeFrame encodes a complete welcome frame.
+//
+//dpbyz:hotpath
+func appendWelcomeFrame(dst []byte, w Welcome) []byte {
+	dst = appendHeader(dst, msgWelcome, 12+8*len(w.Weights)+8*len(w.Velocity))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(w.Round))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(w.Epoch))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(w.Weights)))
+	dst = appendFloat64s(dst, w.Weights)
+	return appendFloat64s(dst, w.Velocity)
 }
 
 // appendFloat64s packs v as raw little-endian bits onto dst.
@@ -205,6 +242,39 @@ func decodePayload(kind msgType, payload []byte, m *message) error {
 		m.gradient.WorkerID = int(id)
 		m.gradient.Step = int(step)
 		m.gradient.Grad = decodeFloat64s(m.gradient.Grad, payload[12:], int(dim))
+	case msgJoin:
+		if len(payload) != 8 {
+			return fmt.Errorf("%w: join payload %d bytes, want 8", ErrBadPayload, len(payload))
+		}
+		id := binary.LittleEndian.Uint32(payload[0:4])
+		if id > math.MaxInt32 {
+			return fmt.Errorf("%w: join worker id %d out of range", ErrBadPayload, id)
+		}
+		last := binary.LittleEndian.Uint32(payload[4:8])
+		m.join.WorkerID = int(id)
+		if last == joinFreshRound {
+			m.join.LastRound = -1
+		} else if last > math.MaxInt32 {
+			return fmt.Errorf("%w: join last round %d out of range", ErrBadPayload, last)
+		} else {
+			m.join.LastRound = int(last)
+		}
+	case msgWelcome:
+		if len(payload) < 12 {
+			return fmt.Errorf("%w: welcome payload %d bytes, want >= 12", ErrBadPayload, len(payload))
+		}
+		round := binary.LittleEndian.Uint32(payload[0:4])
+		epoch := binary.LittleEndian.Uint32(payload[4:8])
+		dim := binary.LittleEndian.Uint32(payload[8:12])
+		// A welcome carries the params and velocity vectors back to back,
+		// both of the declared dimension.
+		if int64(dim)*16 != int64(len(payload)-12) {
+			return fmt.Errorf("%w: welcome dim %d vs %d payload bytes", ErrBadPayload, dim, len(payload))
+		}
+		m.welcome.Round = int(round)
+		m.welcome.Epoch = int(epoch)
+		m.welcome.Weights = decodeFloat64s(m.welcome.Weights, payload[12:], int(dim))
+		m.welcome.Velocity = decodeFloat64s(m.welcome.Velocity, payload[12+8*int(dim):], int(dim))
 	default:
 		return fmt.Errorf("%w: %d", ErrBadType, kind)
 	}
@@ -239,6 +309,10 @@ func appendMessageFrame(dst []byte, m *message) ([]byte, error) {
 		return appendParamsFrame(dst, m.params), nil
 	case msgGradient:
 		return appendGradientFrame(dst, m.gradient), nil
+	case msgJoin:
+		return appendJoinFrame(dst, m.join), nil
+	case msgWelcome:
+		return appendWelcomeFrame(dst, m.welcome), nil
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadType, m.kind)
 	}

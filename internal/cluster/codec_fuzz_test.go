@@ -20,6 +20,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		appendParamsFrame(nil, Params{Step: 7, Weights: []float64{1.5, -2.25, 0}}),
 		appendParamsFrame(nil, Params{Step: 9, Done: true}),
 		appendGradientFrame(nil, Gradient{WorkerID: 1, Step: 2, Grad: []float64{3.25, -8}}),
+		appendJoinFrame(nil, Join{WorkerID: 2, LastRound: -1}),
+		appendJoinFrame(nil, Join{WorkerID: 5, LastRound: 17}),
+		appendWelcomeFrame(nil, Welcome{Round: 3, Epoch: 1, Weights: []float64{1.5}, Velocity: []float64{-0.5}}),
 	}
 	for _, frame := range valid {
 		f.Add(frame)

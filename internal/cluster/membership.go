@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpbyz/internal/gar"
+	"dpbyz/internal/membership"
+	"dpbyz/internal/metrics"
+	"dpbyz/internal/vecmath"
+)
+
+// MembershipConfig switches the server into epoched-membership mode: the
+// worker set is no longer fixed at NewServer but re-derived at epoch
+// boundaries from live connections (see internal/membership). Workers may
+// join mid-run (admitted at the next boundary), crash or fall silent
+// (evicted at the boundary), and rejoin with a fast-forward welcome.
+type MembershipConfig struct {
+	// MinWorkers is the population floor: the run starts once this many
+	// workers have joined and aborts if a boundary would leave fewer.
+	MinWorkers int
+	// MaxWorkers caps the population and the worker-id range [0, MaxWorkers).
+	MaxWorkers int
+	// FRatio re-derives each epoch's Byzantine allowance f_e = ⌊FRatio·n_e⌋.
+	FRatio float64
+	// EpochRounds is the boundary spacing in rounds.
+	EpochRounds int
+	// EvictAfter evicts a member after this many consecutive missed rounds
+	// (0 means membership.DefaultEvictAfter).
+	EvictAfter int
+	// Stragglers is the per-epoch bounded-staleness budget: each epoch's
+	// commit quorum is n_e − f_e − Stragglers (0 = fully synchronous).
+	// Pair with ServerConfig.LateCredit exactly as in fixed mode.
+	Stragglers int
+	// NewGAR materializes the epoch's aggregation rule for a live view of
+	// n workers with f Byzantine — the per-epoch re-materialization that
+	// keeps the GAR's breakdown point matched to the actual population.
+	NewGAR func(n, f int) (gar.GAR, error)
+}
+
+func (mc *MembershipConfig) validate() error {
+	cfg := mc.trackerConfig()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if mc.Stragglers < 0 {
+		return fmt.Errorf("cluster: negative membership stragglers %d", mc.Stragglers)
+	}
+	if mc.NewGAR == nil {
+		return errors.New("cluster: membership mode needs a NewGAR factory")
+	}
+	return nil
+}
+
+func (mc *MembershipConfig) trackerConfig() membership.Config {
+	return membership.Config{
+		MinWorkers:  mc.MinWorkers,
+		MaxWorkers:  mc.MaxWorkers,
+		FRatio:      mc.FRatio,
+		EpochRounds: mc.EpochRounds,
+		EvictAfter:  mc.EvictAfter,
+	}
+}
+
+// memberRegistry connects the accept loop, the reader goroutines and the
+// round loop: it owns the id → current-connection map and feeds handshake
+// and disconnect events into the membership tracker in arrival order.
+type memberRegistry struct {
+	mu      sync.Mutex
+	tracker *membership.Tracker
+	cur     map[int]*workerConn
+	// notify wakes the gather phase when the population changes.
+	notify chan struct{}
+}
+
+func newMemberRegistry(tr *membership.Tracker) *memberRegistry {
+	return &memberRegistry{
+		tracker: tr,
+		cur:     make(map[int]*workerConn),
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// offer registers a handshaken connection for id. A redial replaces the
+// previous connection (newest wins — the common cause is the worker's own
+// reconnect after a broken link; the stale conn is aborted). The returned
+// workerConn is nil when the tracker rejects the handshake.
+func (r *memberRegistry) offer(id int, c *conn, dim int) (*workerConn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.tracker.Handshake(id); err != nil {
+		return nil, err
+	}
+	if old := r.cur[id]; old != nil {
+		_ = old.c.abort()
+	}
+	free := make(chan []float64, submissionDepth)
+	for i := 0; i < submissionDepth; i++ {
+		free <- make([]float64, dim)
+	}
+	w := &workerConn{id: id, c: c, free: free}
+	r.cur[id] = w
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return w, nil
+}
+
+// disconnect reports a reader exit. Only the current connection demotes
+// the member — a replaced conn dying later must not disconnect its rejoin.
+func (r *memberRegistry) disconnect(w *workerConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur[w.id] == w {
+		r.tracker.Disconnect(w.id)
+	}
+}
+
+// current returns id's live connection, or nil.
+func (r *memberRegistry) current(id int) *workerConn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur[id]
+}
+
+// isCurrent reports whether w is still id's live connection.
+func (r *memberRegistry) isCurrent(w *workerConn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur[w.id] == w
+}
+
+// evict drops id's connection (if any) so the worker's next frame fails
+// and it re-enters through the join path — the self-stabilizing nudge.
+func (r *memberRegistry) evict(id int) {
+	r.mu.Lock()
+	w := r.cur[id]
+	delete(r.cur, id)
+	r.mu.Unlock()
+	if w != nil {
+		_ = w.c.abort()
+	}
+}
+
+// abortAll unblocks every reader during shutdown.
+func (r *memberRegistry) abortAll() {
+	r.mu.Lock()
+	conns := make([]*workerConn, 0, len(r.cur))
+	for _, w := range r.cur {
+		conns = append(conns, w)
+	}
+	r.mu.Unlock()
+	for _, w := range conns {
+		_ = w.c.abort()
+	}
+}
+
+// all snapshots the current connections (sorted iteration not needed: the
+// callers' sends are independent per conn).
+func (r *memberRegistry) all() []*workerConn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	conns := make([]*workerConn, 0, len(r.cur))
+	for _, w := range r.cur {
+		conns = append(conns, w)
+	}
+	return conns
+}
+
+// runMembership is the epoched round loop: Run delegates here when
+// ServerConfig.Membership is set.
+//
+// The run is partitioned into EpochRounds-round epochs. At each boundary
+// the tracker advances the view — admitting joined workers (each gets a
+// welcome frame carrying the first round it will serve plus the current
+// params and velocity, so a rejoiner fast-forwards its deterministic
+// streams and resumes bit-identically with the cohort), evicting crashed
+// or silent ones — and the server re-materializes the GAR and commit
+// quorum for the new population. Within an epoch the view is frozen, so
+// every round's books have a well-defined n_e and the per-epoch ledger
+// Accepted_e + Missed_e == n_e × rounds_e stays exact.
+func (s *Server) runMembership(ctx context.Context) (*ServerResult, error) {
+	defer s.listener.Close()
+	mc := s.cfg.Membership
+	tracker, err := membership.NewTracker(mc.trackerConfig())
+	if err != nil {
+		return nil, err
+	}
+	reg := newMemberRegistry(tracker)
+
+	var discarded atomic.Int64
+	inbox := make(chan submission, 2*mc.MaxWorkers)
+	runDone := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// startReader fans one connection's gradient frames into the inbox,
+	// exactly like the fixed-mode readers; on exit it reports the
+	// disconnect and recycles the conn (readers own their conn's close).
+	startReader := func(w *workerConn) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				reg.disconnect(w)
+				_ = w.c.close()
+			}()
+			for {
+				m, err := w.c.receive(time.Time{})
+				if err != nil {
+					return
+				}
+				if m.kind != msgGradient {
+					s.logf("worker %d sent non-gradient message", w.id)
+					return
+				}
+				g := &m.gradient
+				if g.WorkerID != w.id || len(g.Grad) != s.cfg.Dim {
+					discarded.Add(1)
+					s.logf("discarding bad gradient from worker %d (claimed %d, dim %d)",
+						w.id, g.WorkerID, len(g.Grad))
+					continue
+				}
+				var buf []float64
+				select {
+				case buf = <-w.free:
+				default:
+					discarded.Add(1)
+					continue
+				}
+				copy(buf, g.Grad)
+				select {
+				case inbox <- submission{src: w, step: g.Step, grad: buf}:
+				case <-runDone:
+					return
+				}
+			}
+		}()
+	}
+
+	// The accept loop runs for the whole training run: joins are welcome
+	// at any time and admitted at the next boundary. A connection opens
+	// with either a join (membership handshake, carries the last consumed
+	// round) or a plain hello (treated as a fresh join, so fixed-mode
+	// workers interoperate).
+	go func() {
+		for {
+			raw, err := s.listener.Accept()
+			if err != nil {
+				return // listener closed: shutdown or ctx abort
+			}
+			c := newConnMax(raw, s.cfg.MaxFrameBytes)
+			m, err := c.receive(time.Now().Add(s.cfg.RoundTimeout))
+			if err != nil || (m.kind != msgJoin && m.kind != msgHello) {
+				s.logf("rejecting connection without join/hello: %v", err)
+				_ = c.close()
+				continue
+			}
+			id := m.hello.WorkerID
+			if m.kind == msgJoin {
+				id = m.join.WorkerID
+			}
+			w, err := reg.offer(id, c, s.cfg.Dim)
+			if err != nil {
+				s.logf("rejecting join from worker %d: %v", id, err)
+				_ = c.close()
+				continue
+			}
+			s.logf("worker %d handshaken", id)
+			startReader(w)
+		}
+	}()
+	// Closing the listener is the only way to unblock Accept.
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-runDone:
+		}
+		s.listener.Close()
+	}()
+
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			close(runDone)
+			s.listener.Close()
+			reg.abortAll()
+			wg.Wait()
+		})
+	}
+	defer shutdown()
+
+	// Gather phase: the run starts once MinWorkers have handshaken.
+	for tracker.Population() < mc.MinWorkers {
+		select {
+		case <-reg.notify:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: gather: %w", ctx.Err())
+		}
+	}
+
+	w := make([]float64, s.cfg.Dim)
+	if s.cfg.InitParams != nil {
+		copy(w, s.cfg.InitParams)
+	}
+	velocity := make([]float64, s.cfg.Dim)
+	if s.cfg.InitVelocity != nil {
+		copy(velocity, s.cfg.InitVelocity)
+	}
+	history := &metrics.History{}
+	missed, accepted, credited := 0, 0, 0
+	var epochs []membership.EpochStat
+
+	// Per-epoch state, rebuilt at each boundary.
+	var (
+		view      membership.View
+		epochGAR  gar.GAR
+		members   []*workerConn // slot-indexed; nil for members whose conn died
+		slotOf    map[int]int
+		target    int
+		epochStat membership.EpochStat
+	)
+	closeEpoch := func() {
+		if epochStat.Rounds > 0 {
+			epochs = append(epochs, epochStat)
+		}
+	}
+	boundary := func(step int) error {
+		closeEpoch()
+		v, admitted, evicted, err := tracker.AdvanceEpoch()
+		if err != nil {
+			return fmt.Errorf("cluster: round %d boundary: %w", step, err)
+		}
+		for _, id := range evicted {
+			s.logf("epoch %d: evicting worker %d", v.Epoch, id)
+			reg.evict(id)
+		}
+		deadline := time.Now().Add(s.cfg.RoundTimeout)
+		for _, id := range admitted {
+			wk := reg.current(id)
+			if wk == nil {
+				continue // crashed between handshake and admission
+			}
+			welcome := Welcome{Round: step, Epoch: v.Epoch, Weights: w, Velocity: velocity}
+			if err := wk.c.sendWelcome(welcome, deadline); err != nil {
+				s.logf("welcome to worker %d: %v", id, err)
+				reg.disconnect(wk)
+			}
+		}
+		epochGAR, err = mc.NewGAR(v.N(), v.F)
+		if err != nil {
+			return fmt.Errorf("cluster: epoch %d GAR (n=%d f=%d): %w", v.Epoch, v.N(), v.F, err)
+		}
+		view = v
+		members = members[:0]
+		slotOf = make(map[int]int, v.N())
+		for i, id := range v.Members {
+			slotOf[id] = i
+			members = append(members, reg.current(id))
+		}
+		target = v.N()
+		if mc.Stragglers > 0 {
+			target = v.Quorum(mc.Stragglers)
+		}
+		epochStat = membership.EpochStat{Epoch: v.Epoch, N: v.N(), F: v.F, View: v.Members}
+		s.logf("epoch %d: n=%d f=%d quorum=%d members=%v", v.Epoch, v.N(), v.F, target, v.Members)
+		return nil
+	}
+
+	submissions := make([][]float64, 0, mc.MaxWorkers)
+	agg := make([]float64, s.cfg.Dim)
+	zeros := make([]float64, s.cfg.Dim)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+
+	finish := func(finalW []float64) {
+		deadline := time.Now().Add(s.cfg.RoundTimeout)
+		for _, wk := range reg.all() {
+			msg := Params{Step: s.cfg.Steps, Weights: finalW, Done: true}
+			if err := wk.c.sendParams(msg, deadline); err != nil {
+				s.logf("final broadcast to worker %d: %v", wk.id, err)
+			}
+		}
+	}
+	result := func() *ServerResult {
+		closeEpoch()
+		return &ServerResult{
+			Params:               w,
+			History:              history,
+			MissedGradients:      missed,
+			AcceptedGradients:    accepted,
+			DiscardedSubmissions: int(discarded.Load()),
+			CreditedGradients:    credited,
+			Epochs:               epochs,
+		}
+	}
+
+	for step := s.cfg.StartStep; step < s.cfg.Steps; step++ {
+		select {
+		case <-ctx.Done():
+			finish(w)
+			return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
+		default:
+		}
+		if step == s.cfg.StartStep || step%mc.EpochRounds == 0 {
+			if err := boundary(step); err != nil {
+				finish(w)
+				return nil, err
+			}
+		}
+
+		deadline := time.Now().Add(s.cfg.RoundTimeout)
+		for i, wk := range members {
+			// Members whose conn died mid-epoch stay in the frozen view as
+			// mutes; refresh in case the worker rejoined mid-epoch (its
+			// rejoin is only admitted at the boundary, so no broadcast).
+			if wk == nil || !reg.isCurrent(wk) {
+				members[i] = nil
+				continue
+			}
+			msg := Params{Step: step, Weights: w}
+			if err := wk.c.sendParams(msg, deadline); err != nil {
+				s.logf("broadcast to worker %d: %v (treating as mute)", wk.id, err)
+			}
+		}
+
+		submissions = submissions[:view.N()]
+		for i := range submissions {
+			submissions[i] = nil
+		}
+		received := 0
+		timer.Reset(time.Until(deadline))
+	collect:
+		for received < target {
+			select {
+			case sub := <-inbox:
+				i, member := slotOf[sub.src.id]
+				switch {
+				case !member || !reg.isCurrent(sub.src):
+					// Not in this epoch's view (evicted, pending, or a
+					// stale conn the worker already replaced): discard.
+					discarded.Add(1)
+					sub.src.free <- sub.grad
+				case sub.step == step && submissions[i] == nil:
+					submissions[i] = sub.grad
+					received++
+				case s.cfg.LateCredit && sub.step == step-1 && submissions[i] == nil:
+					submissions[i] = sub.grad
+					received++
+					credited++
+				default:
+					discarded.Add(1)
+					s.logf("discarding stale/duplicate gradient (worker %d, step %d)", sub.src.id, sub.step)
+					sub.src.free <- sub.grad
+				}
+			case <-timer.C:
+				break collect
+			case <-ctx.Done():
+				timer.Stop()
+				for i := range submissions {
+					if submissions[i] != nil {
+						returnSubmission(members[i], submissions[i])
+						submissions[i] = nil
+					}
+				}
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
+			}
+		}
+		timer.Stop()
+		accepted += received
+		epochStat.Accepted += received
+
+		for i, id := range view.Members {
+			if submissions[i] == nil {
+				submissions[i] = zeros
+				missed++
+				epochStat.Missed++
+				tracker.RecordMiss(id)
+			} else {
+				tracker.RecordAccept(id)
+			}
+		}
+
+		if err := gar.AggregateInto(epochGAR, agg, submissions); err != nil {
+			finish(w)
+			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)
+		}
+		for i := range submissions {
+			if submissions[i] != nil && &submissions[i][0] != &zeros[0] {
+				returnSubmission(members[i], submissions[i])
+			}
+			submissions[i] = nil
+		}
+
+		for i := range velocity {
+			velocity[i] = s.cfg.Momentum*velocity[i] + agg[i]
+			w[i] -= s.cfg.LearningRate * velocity[i]
+		}
+		if !vecmath.AllFinite(w) {
+			finish(w)
+			return nil, fmt.Errorf("cluster: parameters diverged at round %d", step)
+		}
+		epochStat.Rounds++
+		rec := metrics.StepRecord{
+			Step:     step,
+			Loss:     vecmath.Norm(agg),
+			Accuracy: math.NaN(),
+			VNRatio:  math.NaN(),
+		}
+		history.Append(rec)
+		if s.cfg.StepHook != nil {
+			if err := s.cfg.StepHook(rec, w); err != nil {
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d hook: %w", step, err)
+			}
+		}
+		if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotFunc != nil &&
+			((step+1)%s.cfg.SnapshotEvery == 0 || step == s.cfg.Steps-1) {
+			if err := s.cfg.SnapshotFunc(step+1, w, velocity); err != nil {
+				finish(w)
+				return nil, fmt.Errorf("cluster: round %d snapshot: %w", step, err)
+			}
+		}
+	}
+
+	finish(w)
+	// Quiesce readers before reading the counters, as in fixed mode.
+	shutdown()
+	return result(), nil
+}
+
+// returnSubmission hands a borrowed gradient buffer back to its owner's
+// free list. The owner may be nil when the member's conn died mid-epoch
+// after submitting; the buffer is simply dropped then (churn is off the
+// steady state, so the allocation does not matter).
+func returnSubmission(w *workerConn, buf []float64) {
+	if w == nil {
+		return
+	}
+	select {
+	case w.free <- buf:
+	default:
+	}
+}

@@ -19,7 +19,8 @@
 //	offset  size  field
 //	0       2     magic "DB" (0x44 0x42)
 //	2       1     protocol version (currently 1)
-//	3       1     message type (1 = hello, 2 = params, 3 = gradient)
+//	3       1     message type (1 = hello, 2 = params, 3 = gradient,
+//	              4 = join, 5 = welcome)
 //	4       4     payload length in bytes (uint32)
 //
 // followed by the payload:
@@ -27,6 +28,17 @@
 //	hello:     workerID uint32
 //	params:    step uint32 | flags uint8 (bit 0 = done) | dim uint32 | dim × float64
 //	gradient:  workerID uint32 | step uint32 | dim uint32 | dim × float64
+//	join:      workerID uint32 | lastRound uint32 (0xFFFFFFFF = fresh join)
+//	welcome:   round uint32 | epoch uint32 | dim uint32 | dim × float64 params
+//	           | dim × float64 velocity
+//
+// Join and welcome are the epoched-membership handshake (see
+// internal/membership): a worker opens with join instead of hello, carrying
+// its id and the last round it consumed, and the server answers with
+// welcome at the admission boundary, carrying the first round the worker
+// will serve plus the current model state so a rejoiner fast-forwards its
+// deterministic RNG streams to the cohort's position instead of submitting
+// stale garbage.
 //
 // float64 values are raw little-endian IEEE-754 bits, so a d-dimensional
 // gradient costs exactly 8d+20 bytes and encodes/decodes with no
@@ -86,6 +98,35 @@ type (
 		// Grad is the (possibly clipped and noised) gradient vector.
 		Grad []float64
 	}
+
+	// Join opens a membership-mode connection: it announces a new or
+	// rejoining worker together with how far its deterministic streams
+	// have advanced.
+	Join struct {
+		// WorkerID must be unique in [0, MaxWorkers).
+		WorkerID int
+		// LastRound is the last round the worker drew its batch/noise
+		// streams for, or -1 for a fresh join that never consumed any.
+		LastRound int
+	}
+
+	// Welcome admits a joined worker at an epoch boundary. The round tag
+	// plus the worker's own seed fully determine the RNG stream state a
+	// cohort member would have at this point, so Round is the stream
+	// state in compressed form: the rejoiner fast-forwards its streams by
+	// Round − (LastRound+1) rounds and resumes bit-identically.
+	Welcome struct {
+		// Round is the first round the worker will participate in.
+		Round int
+		// Epoch is the epoch whose view now includes the worker.
+		Epoch int
+		// Weights is the current parameter vector w_Round.
+		Weights []float64
+		// Velocity is the server's momentum accumulator at Round; a
+		// worker does not need it to resume, but streaming it makes the
+		// welcome a complete checkpoint of the server-visible state.
+		Velocity []float64
+	}
 )
 
 // Wire errors.
@@ -138,6 +179,19 @@ func (c *conn) sendParams(p Params, deadline time.Time) error {
 		return fmt.Errorf("%w: params payload %d bytes, cap %d", ErrFrameTooLarge, n, c.maxFrame)
 	}
 	c.wbuf = appendParamsFrame(c.wbuf[:0], p)
+	return c.writeFrame(deadline)
+}
+
+func (c *conn) sendJoin(j Join, deadline time.Time) error {
+	c.wbuf = appendJoinFrame(c.wbuf[:0], j)
+	return c.writeFrame(deadline)
+}
+
+func (c *conn) sendWelcome(w Welcome, deadline time.Time) error {
+	if n := 12 + 8*len(w.Weights) + 8*len(w.Velocity); n > c.maxFrame {
+		return fmt.Errorf("%w: welcome payload %d bytes, cap %d", ErrFrameTooLarge, n, c.maxFrame)
+	}
+	c.wbuf = appendWelcomeFrame(c.wbuf[:0], w)
 	return c.writeFrame(deadline)
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dpbyz/internal/gar"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/metrics"
 	"dpbyz/internal/vecmath"
 )
@@ -63,6 +64,12 @@ type ServerConfig struct {
 	// bounded-staleness (bound 1) crediting rule. Older frames and
 	// duplicates are discarded either way.
 	LateCredit bool
+	// Membership, when set, switches the server into epoched-membership
+	// mode (see MembershipConfig): the worker set is re-derived at epoch
+	// boundaries instead of fixed at NewServer, GAR is nil (the per-epoch
+	// factory replaces it) and Quorum is derived per epoch from the live
+	// view and the membership Stragglers budget.
+	Membership *MembershipConfig
 	// Logf, when non-nil, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 
@@ -91,7 +98,17 @@ type ServerConfig struct {
 }
 
 func (c *ServerConfig) validate() error {
-	if c.GAR == nil {
+	if c.Membership != nil {
+		if c.GAR != nil {
+			return errors.New("cluster: membership mode re-derives the GAR per epoch; set Membership.NewGAR, not GAR")
+		}
+		if c.Quorum != 0 {
+			return errors.New("cluster: membership mode derives the quorum per epoch; set Membership.Stragglers, not Quorum")
+		}
+		if err := c.Membership.validate(); err != nil {
+			return err
+		}
+	} else if c.GAR == nil {
 		return errors.New("cluster: nil aggregation rule")
 	}
 	if c.Dim <= 0 {
@@ -115,7 +132,7 @@ func (c *ServerConfig) validate() error {
 	if c.StartStep < 0 || c.StartStep >= c.Steps {
 		return fmt.Errorf("cluster: start step %d outside [0, %d)", c.StartStep, c.Steps)
 	}
-	if c.Quorum < 0 || c.Quorum > c.GAR.N() {
+	if c.Membership == nil && (c.Quorum < 0 || c.Quorum > c.GAR.N()) {
 		return fmt.Errorf("cluster: quorum %d outside [0, n=%d]", c.Quorum, c.GAR.N())
 	}
 	if err := validateMaxFrame(c.MaxFrameBytes, c.Dim); err != nil {
@@ -164,6 +181,10 @@ type ServerResult struct {
 	// CreditedGradients counts accepted submissions that were one round
 	// stale and credited under LateCredit (a subset of AcceptedGradients).
 	CreditedGradients int
+	// Epochs holds the per-epoch membership books (membership mode only).
+	// Over a completed run Σ (Accepted_e + Missed_e) == Σ N_e × Rounds_e
+	// exactly; membership.BalanceEpochs checks the identity.
+	Epochs []membership.EpochStat
 }
 
 // Server drives synchronous distributed SGD over a Transport.
@@ -226,6 +247,9 @@ type submission struct {
 // all connections, and waits for its reader goroutines, before returning.
 // The context aborts both the accept phase and training between rounds.
 func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
+	if s.cfg.Membership != nil {
+		return s.runMembership(ctx)
+	}
 	defer s.listener.Close()
 	n := s.cfg.GAR.N()
 

@@ -14,6 +14,17 @@ import (
 	"dpbyz/internal/vecmath"
 )
 
+// Worker dial-retry defaults (satellite of the churn work: a transient
+// ECONNREFUSED during startup must not kill the run).
+const (
+	// DefaultDialRetries is how many times a failed dial is retried.
+	DefaultDialRetries = 3
+	// DefaultDialBackoff is the first retry's delay; it doubles per retry.
+	DefaultDialBackoff = 50 * time.Millisecond
+	// DefaultMaxDialBackoff caps the exponential backoff.
+	DefaultMaxDialBackoff = 1 * time.Second
+)
+
 // WorkerConfig configures one worker process.
 type WorkerConfig struct {
 	// Addr is the server address to dial.
@@ -62,14 +73,36 @@ type WorkerConfig struct {
 	LearningRate float64
 	// Seed drives batch sampling and noise.
 	Seed uint64
-	// DialTimeout bounds the initial connection (default 5s).
+	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+	// DialRetries is how many extra dial attempts follow a failure, with
+	// capped exponential backoff between them (0 means DefaultDialRetries;
+	// negative disables retrying). The same budget governs each rejoin's
+	// redial in membership mode.
+	DialRetries int
+	// DialBackoff is the first retry delay, doubling up to MaxDialBackoff
+	// (defaults DefaultDialBackoff / DefaultMaxDialBackoff).
+	DialBackoff    time.Duration
+	MaxDialBackoff time.Duration
+	// Sleep, when non-nil, replaces the real clock for backoff waits so
+	// tests stay deterministic; nil uses time.Sleep.
+	Sleep func(time.Duration)
+	// Membership switches the worker to the epoched-membership handshake:
+	// it opens with a join frame instead of hello, waits for the server's
+	// welcome at an epoch boundary, fast-forwards its deterministic
+	// batch/noise streams to the cohort's position, and on a broken
+	// connection redials and rejoins instead of exiting.
+	Membership bool
 	// MaxRounds, when positive, makes the worker exit after that many
 	// rounds even without a Done message (used to model crashed workers).
 	MaxRounds int
 	// RoundDelay, when positive, sleeps before every gradient submission —
 	// a straggler model for exercising the server's round timeout.
 	RoundDelay time.Duration
+	// DropConnAfter, when positive, makes the worker kill its own
+	// connection after that many submitted rounds — once — and, in
+	// membership mode, rejoin. A scriptable mid-run crash for churn tests.
+	DropConnAfter int
 }
 
 func (c *WorkerConfig) validate() error {
@@ -108,33 +141,186 @@ func (c *WorkerConfig) validate() error {
 type WorkerResult struct {
 	// Rounds is the number of gradients the worker submitted.
 	Rounds int
+	// Rejoins counts successful reconnects after a broken connection
+	// (membership mode only).
+	Rejoins int
+	// FastForwarded counts rounds of deterministic stream replay performed
+	// to catch up with the cohort across joins and gaps.
+	FastForwarded int
 	// FinalParams is the last parameter vector received from the server
 	// (the trained model when the run completed). It is the worker's own
 	// copy, never an alias of connection internals.
 	FinalParams []float64
 }
 
+// workerState is the round-pipeline state that survives reconnects: the
+// deterministic streams, scratch vectors and momentum accumulator.
+type workerState struct {
+	batcher   *data.Batcher
+	noise     *randx.Stream
+	attackRng *randx.Stream
+	grad      []float64
+	clipBuf   []float64
+	momentum  []float64
+
+	adaptive    attack.AdaptiveAttack
+	prevParams  []float64
+	aggEstimate []float64
+	honestView  [][]float64
+	havePrev    bool
+
+	// consumed counts the rounds whose batch/noise draws this worker has
+	// performed (live or replayed). A cohort member that participated in
+	// rounds 0..r−1 has consumed == r, so consumed is exactly the RNG
+	// stream position in rounds — the quantity join/welcome frames carry.
+	consumed int
+
+	// dropped latches the DropConnAfter self-kill so it fires once.
+	dropped bool
+}
+
+func newWorkerState(cfg *WorkerConfig) (*workerState, error) {
+	root := randx.New(cfg.Seed)
+	batcher, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(1, uint64(cfg.WorkerID)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: batcher: %w", err)
+	}
+	st := &workerState{
+		batcher:   batcher,
+		noise:     root.Derive(2, uint64(cfg.WorkerID)),
+		attackRng: root.Derive(3, uint64(cfg.WorkerID)),
+		grad:      make([]float64, cfg.Model.Dim()),
+		clipBuf:   make([]float64, cfg.Model.Dim()),
+	}
+	if cfg.Momentum > 0 {
+		st.momentum = make([]float64, cfg.Model.Dim())
+	}
+	// A stateful Byzantine worker reconstructs the server's aggregate
+	// direction from successive parameter broadcasts: the observed delta
+	// (w_t − w_{t+1})/γ is the momentum-filtered aggregate — exactly the
+	// signal a real state-aware attacker has in the networked threat model.
+	if aa, ok := cfg.Attack.(attack.AdaptiveAttack); ok {
+		st.adaptive = aa
+		st.prevParams = make([]float64, cfg.Model.Dim())
+		st.aggEstimate = make([]float64, cfg.Model.Dim())
+		st.honestView = [][]float64{st.grad}
+	}
+	return st, nil
+}
+
+// fastForward replays the per-round stream consumption of `rounds` missed
+// rounds: one batch draw plus (with DP) one noise perturbation per round,
+// discarded into scratch. Stream positions cannot be jumped arithmetically
+// — ziggurat/rejection sampling consumes a variable number of variates —
+// so replay is the only way to land the streams exactly where a
+// never-disconnected cohort member's would be. No gradient math runs and
+// no privacy is spent (noise drawn but never released is not a release).
+// Byzantine attack streams are deliberately not replayed: attackers carry
+// no bit-identity contract.
+func (st *workerState) fastForward(cfg *WorkerConfig, rounds int) {
+	for i := 0; i < rounds; i++ {
+		_ = st.batcher.Next()
+		if cfg.Mechanism != nil {
+			for j := range st.clipBuf {
+				st.clipBuf[j] = 0
+			}
+			cfg.Mechanism.Perturb(st.clipBuf, st.noise)
+		}
+		st.consumed++
+	}
+}
+
+// errConnLost distinguishes a recoverable transport failure (rejoin in
+// membership mode) from a protocol-level or context abort.
+var errConnLost = errors.New("cluster: connection lost")
+
 // RunWorker connects to the server and participates in training until the
 // server signals completion, the context is cancelled, or MaxRounds is
-// reached.
+// reached. With Membership set, a broken connection triggers a redial and
+// rejoin (with the same capped backoff as the initial dial) instead of an
+// error return.
 func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	dialTimeout := cfg.DialTimeout
-	if dialTimeout <= 0 {
-		dialTimeout = 5 * time.Second
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
 	}
-	transport := cfg.Transport
-	if transport == nil {
-		transport = DefaultTransport
+	if cfg.Transport == nil {
+		cfg.Transport = DefaultTransport
 	}
-	dialCtx, dialCancel := context.WithTimeout(ctx, dialTimeout)
-	raw, err := transport.Dial(dialCtx, cfg.Addr)
-	dialCancel()
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+
+	st, err := newWorkerState(&cfg)
 	if err != nil {
 		return nil, err
 	}
+	res := &WorkerResult{}
+	for {
+		raw, err := dialWithRetry(ctx, &cfg)
+		if err != nil {
+			return res, err
+		}
+		err = runSession(ctx, &cfg, st, res, raw)
+		if err == nil {
+			return res, nil
+		}
+		if !cfg.Membership || ctx.Err() != nil || !errors.Is(err, errConnLost) {
+			return res, err
+		}
+		res.Rejoins++
+	}
+}
+
+// dialWithRetry dials the server with capped exponential backoff: the
+// first failure waits DialBackoff, each further failure doubles the wait
+// up to MaxDialBackoff, for DialRetries retries total. The sleeper is
+// injectable so tests pin the schedule without real clocks.
+func dialWithRetry(ctx context.Context, cfg *WorkerConfig) (Conn, error) {
+	retries := cfg.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	maxBackoff := cfg.MaxDialBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxDialBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			cfg.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, cfg.DialTimeout)
+		raw, err := cfg.Transport.Dial(dialCtx, cfg.Addr)
+		cancel()
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: dial %s (%d attempts): %w", cfg.Addr, retries+1, lastErr)
+}
+
+// runSession drives one connection's lifetime: handshake, then the round
+// loop. It returns nil when the run is over (Done received or MaxRounds
+// hit), errConnLost when the transport failed and a membership worker
+// should rejoin, and any other error to abort.
+func runSession(ctx context.Context, cfg *WorkerConfig, st *workerState, res *WorkerResult, raw Conn) error {
 	c := newConnMax(raw, cfg.MaxFrameBytes)
 	defer c.close()
 
@@ -151,48 +337,48 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		}
 	}()
 
-	if err := c.sendHello(Hello{WorkerID: cfg.WorkerID}, time.Now().Add(dialTimeout)); err != nil {
-		return nil, fmt.Errorf("cluster: hello: %w", err)
+	deadline := time.Now().Add(cfg.DialTimeout)
+	if cfg.Membership {
+		join := Join{WorkerID: cfg.WorkerID, LastRound: st.consumed - 1}
+		if err := c.sendJoin(join, deadline); err != nil {
+			return fmt.Errorf("%w: join: %v", errConnLost, err)
+		}
+	} else {
+		if err := c.sendHello(Hello{WorkerID: cfg.WorkerID}, deadline); err != nil {
+			return fmt.Errorf("cluster: hello: %w", err)
+		}
 	}
+	// A new connection invalidates the adaptive attacker's broadcast
+	// continuity: the next delta would span the gap.
+	st.havePrev = false
 
-	root := randx.New(cfg.Seed)
-	batcher, err := data.NewBatcher(cfg.Train, cfg.BatchSize, root.Derive(1, uint64(cfg.WorkerID)))
-	if err != nil {
-		return nil, fmt.Errorf("cluster: batcher: %w", err)
-	}
-	noise := root.Derive(2, uint64(cfg.WorkerID))
-	attackRng := root.Derive(3, uint64(cfg.WorkerID))
-	grad := make([]float64, cfg.Model.Dim())
-	clipBuf := make([]float64, cfg.Model.Dim())
-	var momentum []float64
-	if cfg.Momentum > 0 {
-		momentum = make([]float64, cfg.Model.Dim())
-	}
-	// A stateful Byzantine worker reconstructs the server's aggregate
-	// direction from successive parameter broadcasts: the observed delta
-	// (w_t − w_{t+1})/γ is the momentum-filtered aggregate — exactly the
-	// signal a real state-aware attacker has in the networked threat model.
-	var adaptive attack.AdaptiveAttack
-	var prevParams, aggEstimate []float64
-	var honestView [][]float64
-	if aa, ok := cfg.Attack.(attack.AdaptiveAttack); ok {
-		adaptive = aa
-		prevParams = make([]float64, cfg.Model.Dim())
-		aggEstimate = make([]float64, cfg.Model.Dim())
-		honestView = [][]float64{grad}
-	}
-
-	res := &WorkerResult{}
 	for {
 		m, err := c.receive(time.Time{})
 		if err != nil {
 			if ctx.Err() != nil {
-				return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
+				return fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
 			}
-			return res, fmt.Errorf("cluster: worker %d receive: %w", cfg.WorkerID, err)
+			if cfg.Membership {
+				return fmt.Errorf("%w: worker %d receive: %v", errConnLost, cfg.WorkerID, err)
+			}
+			return fmt.Errorf("cluster: worker %d receive: %w", cfg.WorkerID, err)
 		}
-		if m.kind != msgParams {
-			return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ErrBadMessage)
+		switch m.kind {
+		case msgWelcome:
+			if !cfg.Membership {
+				return fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ErrBadMessage)
+			}
+			// Admission: the welcome's round tag is the cohort's stream
+			// position; replay the gap so the next live round is
+			// bit-identical with a never-disconnected worker's.
+			if gap := m.welcome.Round - st.consumed; gap > 0 {
+				st.fastForward(cfg, gap)
+				res.FastForwarded += gap
+			}
+			continue
+		case msgParams:
+		default:
+			return fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ErrBadMessage)
 		}
 		params := &m.params
 		// params.Weights lives in the conn's reusable decode buffer, which
@@ -204,43 +390,63 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		res.FinalParams = res.FinalParams[:len(params.Weights)]
 		copy(res.FinalParams, params.Weights)
 		if params.Done {
-			return res, nil
+			return nil
 		}
-		if adaptive != nil {
-			if res.Rounds > 0 {
+		// A broadcast gap (partition-dropped frames, or admission without
+		// an explicit welcome after reconnecting while still a member)
+		// shows up as a skipped-ahead step: replay the missed rounds so
+		// the streams stay aligned with the cohort. Fixed-mode rounds are
+		// gapless, so this is a no-op there.
+		if cfg.Membership {
+			if params.Step < st.consumed {
+				// Duplicated or reordered broadcast for a round whose
+				// streams were already drawn: recomputing would desync the
+				// stream position, so skip it (idempotent round handling,
+				// mirroring the server's credit path).
+				continue
+			}
+			if gap := params.Step - st.consumed; gap > 0 {
+				st.fastForward(cfg, gap)
+				res.FastForwarded += gap
+			}
+		}
+		if st.adaptive != nil {
+			if st.havePrev {
 				invLR := 1.0
 				if cfg.LearningRate > 0 {
 					invLR = 1 / cfg.LearningRate
 				}
-				for j := range aggEstimate {
-					aggEstimate[j] = (prevParams[j] - params.Weights[j]) * invLR
+				for j := range st.aggEstimate {
+					st.aggEstimate[j] = (st.prevParams[j] - params.Weights[j]) * invLR
 				}
-				adaptive.Observe(params.Step-1, aggEstimate, honestView)
+				st.adaptive.Observe(params.Step-1, st.aggEstimate, st.honestView)
 			}
-			copy(prevParams, params.Weights)
+			copy(st.prevParams, params.Weights)
+			st.havePrev = true
 		}
 
 		if cfg.RoundDelay > 0 {
 			select {
 			case <-ctx.Done():
-				return res, fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
+				return fmt.Errorf("cluster: worker %d: %w", cfg.WorkerID, ctx.Err())
 			case <-time.After(cfg.RoundDelay):
 			}
 		}
-		batch := batcher.Next()
-		if momentum != nil && !cfg.MomentumPostNoise {
+		batch := st.batcher.Next()
+		st.consumed++
+		if st.momentum != nil && !cfg.MomentumPostNoise {
 			// Paper pipeline: momentum over raw gradients, then clip, then
 			// noise (the clip bounds every submission to G_max).
-			cfg.Model.Gradient(grad, params.Weights, batch)
-			for j := range momentum {
-				momentum[j] = cfg.Momentum*momentum[j] + grad[j]
+			cfg.Model.Gradient(st.grad, params.Weights, batch)
+			for j := range st.momentum {
+				st.momentum[j] = cfg.Momentum*st.momentum[j] + st.grad[j]
 			}
-			copy(grad, momentum)
+			copy(st.grad, st.momentum)
 			if cfg.ClipNorm > 0 {
-				vecmath.ClipL2(grad, cfg.ClipNorm)
+				vecmath.ClipL2(st.grad, cfg.ClipNorm)
 			}
 			if cfg.Mechanism != nil {
-				cfg.Mechanism.Perturb(grad, noise)
+				cfg.Mechanism.Perturb(st.grad, st.noise)
 				if cfg.Accountant != nil {
 					cfg.Accountant.Record()
 				}
@@ -248,37 +454,51 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerResult, error) {
 		} else {
 			// Theory pipeline: per-sample clipping keeps the 2*Gmax/b
 			// sensitivity assumption exact.
-			model.ClippedGradientWithNorms(cfg.Model, grad, clipBuf,
-				params.Weights, batch, batcher.BatchSqNorms(), cfg.ClipNorm)
+			model.ClippedGradientWithNorms(cfg.Model, st.grad, st.clipBuf,
+				params.Weights, batch, st.batcher.BatchSqNorms(), cfg.ClipNorm)
 			if cfg.Mechanism != nil {
-				cfg.Mechanism.Perturb(grad, noise)
+				cfg.Mechanism.Perturb(st.grad, st.noise)
 				if cfg.Accountant != nil {
 					cfg.Accountant.Record()
 				}
 			}
-			if momentum != nil {
-				for j := range momentum {
-					momentum[j] = cfg.Momentum*momentum[j] + grad[j]
+			if st.momentum != nil {
+				for j := range st.momentum {
+					st.momentum[j] = cfg.Momentum*st.momentum[j] + st.grad[j]
 				}
-				copy(grad, momentum)
+				copy(st.grad, st.momentum)
 			}
 		}
-		submission := grad
+		submission := st.grad
 		if cfg.Attack != nil {
-			crafted, err := cfg.Attack.Craft([][]float64{grad}, attackRng)
+			crafted, err := cfg.Attack.Craft([][]float64{st.grad}, st.attackRng)
 			if err != nil {
-				return res, fmt.Errorf("cluster: worker %d attack: %w", cfg.WorkerID, err)
+				return fmt.Errorf("cluster: worker %d attack: %w", cfg.WorkerID, err)
 			}
 			submission = crafted
 		}
 
 		msg := Gradient{WorkerID: cfg.WorkerID, Step: params.Step, Grad: submission}
-		if err := c.sendGradient(msg, time.Now().Add(dialTimeout)); err != nil {
-			return res, fmt.Errorf("cluster: worker %d send: %w", cfg.WorkerID, err)
+		if err := c.sendGradient(msg, time.Now().Add(cfg.DialTimeout)); err != nil {
+			if cfg.Membership {
+				return fmt.Errorf("%w: worker %d send: %v", errConnLost, cfg.WorkerID, err)
+			}
+			return fmt.Errorf("cluster: worker %d send: %w", cfg.WorkerID, err)
 		}
 		res.Rounds++
 		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
-			return res, nil
+			return nil
+		}
+		if cfg.DropConnAfter > 0 && !st.dropped && res.Rounds >= cfg.DropConnAfter {
+			// Scripted mid-run crash: kill the connection once. In
+			// membership mode the caller rejoins; otherwise this ends the
+			// worker like a real broken link would.
+			st.dropped = true
+			_ = c.abort()
+			if cfg.Membership {
+				return fmt.Errorf("%w: worker %d dropped own conn (scripted churn)", errConnLost, cfg.WorkerID)
+			}
+			return fmt.Errorf("cluster: worker %d dropped own conn (scripted churn)", cfg.WorkerID)
 		}
 	}
 }

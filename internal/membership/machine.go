@@ -1,0 +1,441 @@
+// Model-checked round protocol: an explicit state machine of the epoched
+// parameter-server round loop, exhaustively explored for safety.
+//
+// This is the executable analogue of a TLA⁺ spec. The machine is the
+// cross-product of the server phase (collecting within a round, committing
+// at round end, advancing epochs at boundaries), per-worker lifecycle
+// (offline / handshaken / crashed, driven through the real Tracker), and
+// per-worker channel state (at most one round-tagged frame in flight,
+// subject to the same fault classes ChanTransport injects: drop, duplicate
+// and delay/reorder). Explore enumerates every interleaving of those
+// events up to the configured bounds and checks three invariants in every
+// reachable state:
+//
+//   - ledger balance: after every commit, Accepted+Missed equals the total
+//     delivery slots Σ n_e over committed rounds — no slot is double
+//     counted or leaked across an epoch boundary, even when duplicate or
+//     stale frames race a commit;
+//   - single commit per round: each round number aggregates exactly once;
+//   - view ⊆ handshaken: no epoch's view ever contains a worker that did
+//     not complete a handshake.
+//
+// The model deliberately shares transition code with production: epoch
+// boundaries run Tracker.AdvanceEpoch, accept/miss bookkeeping runs
+// Tracker.RecordAccept/RecordMiss, and joins run Tracker.Handshake — so
+// the exploration checks the shipped membership logic, not a copy.
+package membership
+
+import (
+	"fmt"
+)
+
+// ModelConfig bounds the exhaustive exploration.
+type ModelConfig struct {
+	// Workers is the candidate population: worker ids [0, Workers).
+	Workers int
+	// Rounds is the horizon: states past this many committed rounds are
+	// terminal.
+	Rounds int
+	// Membership configures the real Tracker embedded in each state.
+	Membership Config
+	// LateCredit admits a frame tagged round−1 into an empty slot, the
+	// PR-7 idempotent credit path. Off, such frames are discarded.
+	LateCredit bool
+	// MaxStates aborts a runaway exploration (0 means no limit).
+	MaxStates int
+}
+
+// Frame channel-state sentinel: no frame in flight.
+const noFrame = -1
+
+// workerModel is one worker's machine-visible state.
+type workerModel struct {
+	// connected mirrors the transport: a crashed worker has no conn and
+	// its in-flight frame is lost with it.
+	connected bool
+	// frame is the round tag of the (at most one) submission in flight,
+	// or noFrame. Lock-step workers never have two distinct frames out.
+	frame int
+	// dupped marks that frame's duplicate was already delivered, bounding
+	// the duplication fault to one copy per frame.
+	dupped bool
+	// sent is the last round this worker submitted for, so a worker
+	// sends at most once per round (the protocol is one frame per round).
+	sent int
+}
+
+// machineState is one explored state of the round protocol.
+type machineState struct {
+	tr    *Tracker
+	round int
+	// filled marks view members whose slot holds a submission this round.
+	filled []bool
+	// workers is indexed by worker id.
+	workers []workerModel
+	// Ledger totals across the whole run.
+	accepted, missed int
+	// slots is Σ n_e over committed rounds — the ledger's right-hand side.
+	slots int
+	// committed marks round numbers that already aggregated.
+	committed []bool
+	// started reports the initial cohort was admitted (epoch 0 exists).
+	started bool
+	// lateCredit mirrors ModelConfig.LateCredit for the deliver path.
+	lateCredit bool
+}
+
+// clone deep-copies the state for branching.
+func (s *machineState) clone() *machineState {
+	c := &machineState{
+		tr:         s.tr.Clone(),
+		round:      s.round,
+		filled:     append([]bool(nil), s.filled...),
+		workers:    append([]workerModel(nil), s.workers...),
+		accepted:   s.accepted,
+		missed:     s.missed,
+		slots:      s.slots,
+		committed:  append([]bool(nil), s.committed...),
+		started:    s.started,
+		lateCredit: s.lateCredit,
+	}
+	return c
+}
+
+// key canonically encodes the state for the visited set.
+func (s *machineState) key() string {
+	buf := make([]byte, 0, 16+4*len(s.workers))
+	buf = append(buf, byte(s.round), byte(s.accepted), byte(s.missed), byte(s.slots))
+	if s.started {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, f := range s.filled {
+		if f {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = append(buf, 0xFE)
+	for _, w := range s.workers {
+		b := byte(0)
+		if w.connected {
+			b |= 1
+		}
+		if w.dupped {
+			b |= 2
+		}
+		buf = append(buf, b, byte(w.frame+2), byte(w.sent+2))
+	}
+	buf = append(buf, 0xFD)
+	for _, c := range s.committed {
+		if c {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf) + s.tr.stateKey()
+}
+
+// slot returns the view index of id, or -1 when id is not a member.
+func slot(v View, id int) int {
+	for i, m := range v.Members {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkInvariants asserts the three model-checked safety properties.
+// atCommit gates the ledger-balance check to commit points, the only
+// instants at which both sides of the identity are updated.
+func (s *machineState) checkInvariants(atCommit bool) error {
+	if atCommit && s.accepted+s.missed != s.slots {
+		return fmt.Errorf("ledger imbalance at round %d: accepted %d + missed %d != slots %d",
+			s.round, s.accepted, s.missed, s.slots)
+	}
+	v := s.tr.View()
+	for _, id := range v.Members {
+		if !s.tr.handshaken[id] {
+			return fmt.Errorf("epoch %d view contains never-handshaken worker %d", v.Epoch, id)
+		}
+	}
+	return nil
+}
+
+// deliver processes worker id's in-flight frame at the server: the
+// round-tagged, idempotent credit path. Current-round frames from members
+// fill empty slots; with LateCredit a round−1 frame fills an empty slot
+// (the late-credit path); everything else — duplicates into filled slots,
+// stale tags, non-members — is discarded. Exactly this decision table is
+// what makes duplicate and reordered delivery safe.
+func (s *machineState) deliver(id int) {
+	w := &s.workers[id]
+	tag := w.frame
+	v := s.tr.View()
+	i := slot(v, id)
+	switch {
+	case i < 0: // not a member (evicted or still pending): discard
+	case s.filled[i]: // duplicate of an already-filled slot: discard
+	case tag == s.round:
+		s.filled[i] = true
+		s.accepted++
+	case s.lateCredit && tag == s.round-1:
+		s.filled[i] = true
+		s.accepted++
+	default: // stale beyond the credit window: discard
+	}
+}
+
+// commit ends the round: every unfilled member slot books a miss, the
+// ledger's slot total grows by the view size, and a boundary advances the
+// epoch through the real Tracker. Returns false when the machine stops
+// (horizon reached or view collapsed — collapse is a liveness concern,
+// not a safety violation, so the branch just terminates).
+func (s *machineState) commit(cfg ModelConfig) (bool, error) {
+	if s.committed[s.round] {
+		return false, fmt.Errorf("round %d committed twice", s.round)
+	}
+	s.committed[s.round] = true
+	v := s.tr.View()
+	for i, id := range v.Members {
+		if s.filled[i] {
+			s.tr.RecordAccept(id)
+		} else {
+			s.missed++
+			s.tr.RecordMiss(id)
+		}
+		s.filled[i] = false
+	}
+	s.slots += v.N()
+	s.round++
+	if err := s.checkInvariants(true); err != nil {
+		return false, err
+	}
+	if s.round >= cfg.Rounds {
+		return false, nil
+	}
+	if s.round%cfg.Membership.EpochRounds == 0 {
+		nv, _, _, err := s.tr.AdvanceEpoch()
+		if err != nil {
+			return false, nil // view collapsed: terminal, not unsafe
+		}
+		s.filled = make([]bool, nv.N())
+		if err := s.checkInvariants(false); err != nil {
+			return false, err
+		}
+	} else {
+		s.filled = make([]bool, v.N())
+	}
+	return true, nil
+}
+
+// successors enumerates every enabled transition from s. Channel faults
+// (drop, duplicate, delay) and churn (join, crash) are all nondeterministic
+// choices here; delay needs no explicit transition because a frame simply
+// remaining in flight across a commit arrives reordered into a later round.
+func (s *machineState) successors(cfg ModelConfig) ([]*machineState, error) {
+	var next []*machineState
+	branch := func(mut func(*machineState) (bool, error)) error {
+		c := s.clone()
+		keep, err := mut(c)
+		if err != nil {
+			return err
+		}
+		if err := c.checkInvariants(false); err != nil {
+			return err
+		}
+		if keep {
+			next = append(next, c)
+		}
+		return nil
+	}
+
+	if !s.started {
+		// Gather phase: workers handshake until MinWorkers are present,
+		// then the server may admit epoch 0 and start round 0.
+		for id := 0; id < cfg.Workers; id++ {
+			if s.workers[id].connected {
+				continue
+			}
+			id := id
+			if err := branch(func(c *machineState) (bool, error) {
+				if err := c.tr.Handshake(id); err != nil {
+					return false, nil // capacity: branch dies, not unsafe
+				}
+				c.workers[id].connected = true
+				return true, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if s.tr.Population() >= cfg.Membership.MinWorkers {
+			if err := branch(func(c *machineState) (bool, error) {
+				v, _, _, err := c.tr.AdvanceEpoch()
+				if err != nil {
+					return false, nil
+				}
+				c.filled = make([]bool, v.N())
+				c.started = true
+				return true, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return next, nil
+	}
+
+	for id := 0; id < cfg.Workers; id++ {
+		w := s.workers[id]
+		id := id
+		if !w.connected {
+			// JOIN (or rejoin): handshake mid-run; admitted at a boundary.
+			if err := branch(func(c *machineState) (bool, error) {
+				if err := c.tr.Handshake(id); err != nil {
+					return false, nil
+				}
+				c.workers[id].connected = true
+				c.workers[id].frame = noFrame
+				c.workers[id].dupped = false
+				return true, nil
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// CRASH: the transport drops the worker; its in-flight frame is
+		// lost with the connection.
+		if err := branch(func(c *machineState) (bool, error) {
+			c.tr.Disconnect(id)
+			c.workers[id].connected = false
+			c.workers[id].frame = noFrame
+			c.workers[id].dupped = false
+			return true, nil
+		}); err != nil {
+			return nil, err
+		}
+		if w.frame == noFrame {
+			// SEND: a live member submits for the current round (at most
+			// once per round — the protocol is lock-step).
+			if slot(s.tr.View(), id) >= 0 && w.sent < s.round {
+				if err := branch(func(c *machineState) (bool, error) {
+					c.workers[id].frame = c.round
+					c.workers[id].dupped = false
+					c.workers[id].sent = c.round
+					return true, nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// DELIVER: the frame reaches the server and is consumed.
+		if err := branch(func(c *machineState) (bool, error) {
+			c.deliver(id)
+			c.workers[id].frame = noFrame
+			c.workers[id].dupped = false
+			return true, nil
+		}); err != nil {
+			return nil, err
+		}
+		// DROP: the channel loses the frame.
+		if err := branch(func(c *machineState) (bool, error) {
+			c.workers[id].frame = noFrame
+			c.workers[id].dupped = false
+			return true, nil
+		}); err != nil {
+			return nil, err
+		}
+		// DUP: a copy is delivered while the original stays in flight —
+		// the second arrival must be discarded by the idempotent path.
+		// Bounded to one duplicate per frame to keep the space finite.
+		if !w.dupped {
+			if err := branch(func(c *machineState) (bool, error) {
+				c.deliver(id)
+				c.workers[id].dupped = true
+				return true, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// COMMIT: the round deadline fires. It is enabled at any fill count —
+	// timeouts are the protocol's fundamental nondeterminism — which
+	// subsumes quorum-triggered commits at every threshold.
+	if err := branch(func(c *machineState) (bool, error) {
+		return c.commit(cfg)
+	}); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// ExploreResult summarizes an exhaustive exploration.
+type ExploreResult struct {
+	// States is the number of distinct reachable states visited.
+	States int
+	// Transitions is the number of edges traversed.
+	Transitions int
+	// Commits counts commit transitions taken (a proxy for how much of
+	// the horizon the exploration actually reached).
+	Commits int
+}
+
+// Explore exhaustively enumerates every reachable state of the round
+// protocol under cfg's bounds, checking the safety invariants in each.
+// It returns the exploration size, or the first invariant violation.
+func Explore(cfg ModelConfig) (ExploreResult, error) {
+	if cfg.Workers < 1 || cfg.Workers > cfg.Membership.MaxWorkers {
+		return ExploreResult{}, fmt.Errorf("model: workers %d outside [1, max %d]",
+			cfg.Workers, cfg.Membership.MaxWorkers)
+	}
+	if cfg.Rounds < 1 {
+		return ExploreResult{}, fmt.Errorf("model: rounds %d below 1", cfg.Rounds)
+	}
+	tr, err := NewTracker(cfg.Membership)
+	if err != nil {
+		return ExploreResult{}, err
+	}
+	init := &machineState{
+		tr:         tr,
+		workers:    make([]workerModel, cfg.Workers),
+		committed:  make([]bool, cfg.Rounds),
+		lateCredit: cfg.LateCredit,
+	}
+	for i := range init.workers {
+		init.workers[i].frame = noFrame
+		init.workers[i].sent = -1
+	}
+	var res ExploreResult
+	visited := map[string]bool{init.key(): true}
+	queue := []*machineState{init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+		if cfg.MaxStates > 0 && res.States > cfg.MaxStates {
+			return res, fmt.Errorf("model: exceeded %d states", cfg.MaxStates)
+		}
+		succ, err := s.successors(cfg)
+		if err != nil {
+			return res, err
+		}
+		for _, n := range succ {
+			res.Transitions++
+			if n.round > s.round {
+				res.Commits++
+			}
+			k := n.key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			queue = append(queue, n)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package membership
+
+import "testing"
+
+// TestModelCheckRoundProtocol exhaustively explores the round/epoch state
+// machine under every interleaving of the ChanTransport fault classes
+// (drop, duplicate, delay-past-commit) with churn (join, crash, rejoin),
+// proving the three safety invariants — ledger balance, single commit per
+// round, view ⊆ handshaken — over the full bounded state space. Each
+// bound set stresses a different corner: boundary-every-round churn,
+// multi-round epochs with the late-credit path, and a capacity-limited
+// population where joins race evictions.
+func TestModelCheckRoundProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration")
+	}
+	cases := []struct {
+		name string
+		cfg  ModelConfig
+	}{
+		{
+			// Epoch boundary after every round: maximal view churn.
+			name: "boundary-every-round",
+			cfg: ModelConfig{
+				Workers: 3, Rounds: 3, LateCredit: true,
+				Membership: Config{MinWorkers: 1, MaxWorkers: 3, FRatio: 0.34, EpochRounds: 1, EvictAfter: 1},
+			},
+		},
+		{
+			// Two-round epochs: frames delayed across a commit arrive as
+			// round−1 duplicates/credits inside the same view.
+			name: "two-round-epochs-late-credit",
+			cfg: ModelConfig{
+				Workers: 2, Rounds: 4, LateCredit: true,
+				Membership: Config{MinWorkers: 1, MaxWorkers: 2, FRatio: 0.4, EpochRounds: 2, EvictAfter: 2},
+			},
+		},
+		{
+			// Credit path off: every stale frame must be discarded.
+			name: "no-late-credit",
+			cfg: ModelConfig{
+				Workers: 2, Rounds: 3, LateCredit: false,
+				Membership: Config{MinWorkers: 1, MaxWorkers: 2, FRatio: 0, EpochRounds: 1, EvictAfter: 1},
+			},
+		},
+		{
+			// Population at capacity: rejoins only fit after evictions.
+			name: "capacity-pressure",
+			cfg: ModelConfig{
+				Workers: 3, Rounds: 2, LateCredit: true,
+				Membership: Config{MinWorkers: 2, MaxWorkers: 3, FRatio: 0.34, EpochRounds: 1, EvictAfter: 1},
+			},
+		},
+	}
+	total := 0
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.MaxStates = 5_000_000
+			res, err := Explore(tc.cfg)
+			if err != nil {
+				t.Fatalf("safety violation after %d states: %v", res.States, err)
+			}
+			if res.States < 1_000 {
+				t.Fatalf("exploration suspiciously small: %d states (bounds too tight to mean anything)", res.States)
+			}
+			if res.Commits == 0 {
+				t.Fatal("no commit transition ever taken; model wired wrong")
+			}
+			t.Logf("explored %d states, %d transitions, %d commits", res.States, res.Transitions, res.Commits)
+			total += res.States
+		})
+	}
+	t.Logf("total states across bound sets: %d", total)
+}
+
+// TestModelCheckCatchesSeededBugs plants known protocol bugs in mutated
+// transition rules and asserts the exploration actually detects them —
+// the model checker's own regression test, so a future refactor cannot
+// quietly neuter the invariants.
+func TestModelCheckCatchesSeededBugs(t *testing.T) {
+	cfg := ModelConfig{
+		Workers: 2, Rounds: 3, LateCredit: true, MaxStates: 2_000_000,
+		Membership: Config{MinWorkers: 1, MaxWorkers: 2, FRatio: 0, EpochRounds: 1, EvictAfter: 1},
+	}
+	tr, err := NewTracker(cfg.Membership)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bug 1: a state whose view contains a worker that never handshook.
+	s := &machineState{
+		tr:        tr.Clone(),
+		workers:   make([]workerModel, cfg.Workers),
+		committed: make([]bool, cfg.Rounds),
+	}
+	if err := s.tr.Handshake(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.tr.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	s.tr.view.Members = append(s.tr.view.Members, 1) // forged member
+	if err := s.checkInvariants(false); err == nil {
+		t.Fatal("forged view member not detected")
+	}
+
+	// Bug 2: double commit of the same round.
+	s2 := &machineState{
+		tr:        tr.Clone(),
+		workers:   make([]workerModel, cfg.Workers),
+		committed: make([]bool, cfg.Rounds),
+		filled:    []bool{false},
+		started:   true,
+	}
+	if err := s2.tr.Handshake(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s2.tr.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.commit(cfg); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	s2.round-- // protocol bug: round counter rewinds
+	if _, err := s2.commit(cfg); err == nil {
+		t.Fatal("double commit not detected")
+	}
+
+	// Bug 3: a leaked slot (accepted++ without a filled slot) breaks the
+	// ledger at the next commit.
+	s3 := &machineState{
+		tr:        tr.Clone(),
+		workers:   make([]workerModel, cfg.Workers),
+		committed: make([]bool, cfg.Rounds),
+		started:   true,
+	}
+	if err := s3.tr.Handshake(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s3.tr.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	s3.filled = make([]bool, 1)
+	s3.accepted++ // double-counted submission
+	if _, err := s3.commit(cfg); err == nil {
+		t.Fatal("ledger leak not detected")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"dpbyz/internal/data"
 	"dpbyz/internal/dp"
 	"dpbyz/internal/gar"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/metrics"
 	"dpbyz/internal/model"
 	"dpbyz/internal/randx"
@@ -124,6 +125,17 @@ type Config struct {
 	// injection (paper: 1e-2). Zero disables clipping.
 	ClipNorm float64
 
+	// Epochs, when non-nil, mirrors the cluster server's epoched-membership
+	// mode on a fixed cohort: the run is partitioned into EpochRounds-round
+	// epochs, each epoch re-derives f_e = ⌊FRatio·n⌋ and re-materializes the
+	// aggregation rule through NewGAR, and the per-epoch delivery ledgers
+	// are kept exactly as the cluster's (Accepted_e + Missed_e == n×rounds_e).
+	// The local cohort never churns — n_e is always GAR.N() — so the mirror
+	// exercises the deterministic half of membership (epoch scheduling, GAR
+	// re-materialization, per-epoch books, snapshot/resume of the epoch
+	// position) and a membership Spec runs bit-identically on this backend.
+	Epochs *EpochConfig
+
 	// Stragglers, when positive, models bounded-staleness quorum rounds:
 	// each step a seed-derived uniform set of Stragglers workers misses the
 	// quorum cut (the server fires at n − Stragglers submissions), its slot
@@ -180,6 +192,21 @@ type Config struct {
 	Resume *checkpoint.RunState
 }
 
+// EpochConfig is the local mirror of the cluster's epoched membership
+// (cluster.MembershipConfig) for a fixed cohort of GAR.N() workers.
+type EpochConfig struct {
+	// EpochRounds is the boundary spacing in rounds; every epoch boundary
+	// re-derives f and re-materializes the aggregation rule.
+	EpochRounds int
+	// FRatio derives each epoch's Byzantine allowance f_e = ⌊FRatio·n⌋. It
+	// must be consistent with the configured GAR: ⌊FRatio·N⌋ == GAR.F().
+	FRatio float64
+	// NewGAR materializes the epoch's aggregation rule for (n, f). It must
+	// be deterministic — the same (n, f) must yield an equivalent rule — or
+	// resumed runs lose bit-identity.
+	NewGAR func(n, f int) (gar.GAR, error)
+}
+
 // Result bundles the outcome of a run.
 type Result struct {
 	// Params is the final parameter vector w_T.
@@ -196,6 +223,9 @@ type Result struct {
 	Missed    int
 	Discarded int
 	Credited  int
+	// Epochs holds the per-epoch membership ledgers (epoched runs only);
+	// membership.BalanceEpochs(Epochs) holds on every completed run.
+	Epochs []membership.EpochStat
 }
 
 // Validation errors.
@@ -272,6 +302,21 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("simulate: straggler count %d outside [0, n=%d)",
 			c.Stragglers, c.GAR.N())
 	}
+	if e := c.Epochs; e != nil {
+		if e.EpochRounds < 1 {
+			return fmt.Errorf("simulate: epoch length %d below 1 round", e.EpochRounds)
+		}
+		if e.FRatio < 0 || e.FRatio >= 0.5 {
+			return fmt.Errorf("simulate: epoch f ratio %v outside [0, 0.5)", e.FRatio)
+		}
+		if e.NewGAR == nil {
+			return errors.New("simulate: epoched run needs a NewGAR factory")
+		}
+		if f := int(e.FRatio*float64(c.GAR.N()) + 1e-9); f != c.GAR.F() {
+			return fmt.Errorf("simulate: epoch f ratio %v derives f=%d at n=%d, but the GAR declares f=%d",
+				e.FRatio, f, c.GAR.N(), c.GAR.F())
+		}
+	}
 	return nil
 }
 
@@ -333,6 +378,13 @@ type runner struct {
 	missed       int
 	discarded    int
 	credited     int
+
+	// Epoched-membership mirror state (allocated only when cfg.Epochs is
+	// set). rule is the aggregation rule the steps use — cfg.GAR for plain
+	// runs, the current epoch's re-materialized rule for epoched ones.
+	rule       gar.GAR
+	view       []int
+	epochStats []membership.EpochStat
 }
 
 // newRunner validates cfg and allocates every buffer the run will touch, so
@@ -396,6 +448,14 @@ func newRunner(cfg Config) (*runner, error) {
 		}
 	}
 	r.predictor, _ = cfg.Model.(model.Predictor)
+	r.rule = cfg.GAR
+	if cfg.Epochs != nil {
+		r.view = make([]int, n)
+		for i := range r.view {
+			r.view[i] = i
+		}
+		r.epochStats = make([]membership.EpochStat, 0, cfg.Steps/cfg.Epochs.EpochRounds+1)
+	}
 	if cfg.Stragglers > 0 {
 		r.stragglerRng = root.Derive(purposeStraggler)
 		r.stragglerIdx = make([]int, cfg.Stragglers)
@@ -456,6 +516,19 @@ func (r *runner) snapshot(stepsDone int) *checkpoint.RunState {
 			Discarded:    r.discarded,
 			Credited:     r.credited,
 		}
+	}
+	if r.cfg.Epochs != nil && len(r.epochStats) > 0 {
+		cur := r.epochStats[len(r.epochStats)-1]
+		ms := &checkpoint.MembershipRunState{
+			Epoch:  cur.Epoch,
+			View:   append([]int(nil), r.view...),
+			F:      cur.F,
+			Epochs: append([]membership.EpochStat(nil), r.epochStats...),
+		}
+		for i := range ms.Epochs {
+			ms.Epochs[i].View = append([]int(nil), ms.Epochs[i].View...)
+		}
+		st.Membership = ms
 	}
 	return st
 }
@@ -531,6 +604,22 @@ func (r *runner) restore(st *checkpoint.RunState) error {
 		r.credited = st.Quorum.Credited
 	} else if r.cfg.Stragglers > 0 && st.Step > 0 {
 		return errors.New("simulate: staleness configured but the snapshot carries no quorum state")
+	}
+	if st.Membership != nil {
+		if r.cfg.Epochs == nil {
+			return errors.New("simulate: resume carries membership state but epochs are disabled")
+		}
+		m := st.Membership
+		if wantEpoch := (st.Step - 1) / r.cfg.Epochs.EpochRounds; st.Step > 0 && m.Epoch != wantEpoch {
+			return fmt.Errorf("simulate: resume epoch %d, but step %d lies in epoch %d",
+				m.Epoch, st.Step, wantEpoch)
+		}
+		r.epochStats = append(r.epochStats[:0], m.Epochs...)
+		for i := range r.epochStats {
+			r.epochStats[i].View = append([]int(nil), r.epochStats[i].View...)
+		}
+	} else if r.cfg.Epochs != nil && st.Step > 0 {
+		return errors.New("simulate: epochs configured but the snapshot carries no membership state")
 	}
 	return nil
 }
@@ -714,7 +803,7 @@ func (r *runner) step(step int) error {
 		r.accepted += r.n
 	}
 
-	if err := gar.AggregateInto(cfg.GAR, r.agg, r.submissions); err != nil {
+	if err := gar.AggregateInto(r.rule, r.agg, r.submissions); err != nil {
 		return fmt.Errorf("simulate: step %d aggregate: %w", step, err)
 	}
 	if cfg.Stragglers > 0 {
@@ -767,6 +856,38 @@ func (r *runner) step(step int) error {
 	return nil
 }
 
+// enterEpoch re-derives the epoch containing step: f_e = ⌊FRatio·n⌋, a
+// fresh aggregation rule from the factory, and (entering a new epoch) a
+// fresh ledger entry. Re-entering the current epoch — a mid-epoch resume —
+// only re-materializes the rule, continuing the restored partial ledger.
+// This runs at epoch boundaries, outside the hot step loop, so the factory
+// may allocate freely.
+func (r *runner) enterEpoch(step int) error {
+	ec := r.cfg.Epochs
+	e := step / ec.EpochRounds
+	f := int(ec.FRatio*float64(r.n) + 1e-9)
+	g, err := ec.NewGAR(r.n, f)
+	if err != nil {
+		return fmt.Errorf("simulate: epoch %d gar: %w", e, err)
+	}
+	if g.N() != r.n || g.F() != f {
+		return fmt.Errorf("simulate: epoch %d factory built a (%d, %d) rule, want (%d, %d)",
+			e, g.N(), g.F(), r.n, f)
+	}
+	r.rule = g
+	// GAR-aware attackers line-search against the server's live rule, so
+	// they track the epoch re-materialization exactly as on the cluster.
+	if ga, ok := r.cfg.Attack.(attack.GARAware); ok {
+		ga.SetGAR(g)
+	}
+	if len(r.epochStats) == 0 || r.epochStats[len(r.epochStats)-1].Epoch != e {
+		r.epochStats = append(r.epochStats, membership.EpochStat{
+			Epoch: e, N: r.n, F: f, View: r.view,
+		})
+	}
+	return nil
+}
+
 // Run executes the configured training and returns the final parameters and
 // metric history. The context cancels long runs between steps.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
@@ -781,8 +902,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("simulate: step %d: %w", step, ctx.Err())
 		default:
 		}
+		if cfg.Epochs != nil && (step == r.start || step%cfg.Epochs.EpochRounds == 0) {
+			if err := r.enterEpoch(step); err != nil {
+				return nil, err
+			}
+		}
+		prevAccepted, prevMissed := r.accepted, r.missed
 		if err := r.step(step); err != nil {
 			return nil, err
+		}
+		if cfg.Epochs != nil {
+			st := &r.epochStats[len(r.epochStats)-1]
+			st.Rounds++
+			st.Accepted += r.accepted - prevAccepted
+			st.Missed += r.missed - prevMissed
 		}
 		if snapshots && ((step+1)%cfg.SnapshotEvery == 0 || step == cfg.Steps-1) {
 			if err := cfg.SnapshotFunc(r.snapshot(step + 1)); err != nil {
@@ -797,6 +930,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Missed:    r.missed,
 		Discarded: r.discarded,
 		Credited:  r.credited,
+		Epochs:    r.epochStats,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/cluster"
 	"dpbyz/internal/data"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/metrics"
 )
 
@@ -56,6 +57,9 @@ type ClusterStats struct {
 	// WorkerRounds records how many rounds each in-process worker completed
 	// (nil when workers run in other processes, and on the local backend).
 	WorkerRounds []int
+	// Epochs holds the per-epoch membership ledgers (epoched runs only);
+	// membership.BalanceEpochs(Epochs) holds on every completed run.
+	Epochs []membership.EpochStat
 }
 
 // runOptions collects the runtime (non-serializable) knobs of a run.

@@ -56,6 +56,23 @@ func serverConfig(s *Spec, o *runOptions, dim int, initParams []float64) cluster
 		cfg.Quorum = s.Quorum()
 		cfg.LateCredit = s.Staleness.late() == "credit"
 	}
+	if m := s.Membership; m != nil {
+		// Membership mode re-derives the quorum and the GAR per epoch, so
+		// the fixed-cohort knobs stay unset; the staleness budget moves into
+		// the per-epoch derivation and the late policy keeps its meaning.
+		cfg.Quorum = 0
+		mc := &cluster.MembershipConfig{
+			MinWorkers:  m.MinWorkers,
+			MaxWorkers:  m.MaxWorkers,
+			FRatio:      m.FRatio,
+			EpochRounds: m.EpochRounds,
+			NewGAR:      s.NewGARFactory(),
+		}
+		if s.Staleness != nil {
+			mc.Stragglers = s.Staleness.Stragglers
+		}
+		cfg.Membership = mc
+	}
 	return cfg
 }
 
@@ -67,6 +84,7 @@ func workerConfig(s *Spec, o *runOptions, m *materialized, id int, addr string) 
 		Transport:         o.transport,
 		MaxFrameBytes:     o.maxFrameBytes,
 		WorkerID:          id,
+		Membership:        s.Membership != nil,
 		Model:             m.model,
 		Train:             m.trainFor(id),
 		BatchSize:         s.BatchSize,
@@ -168,7 +186,9 @@ func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Resu
 	}
 
 	srvCfg := serverConfig(&s, o, m.model.Dim(), m.initParams)
-	srvCfg.GAR = m.gar
+	if s.Membership == nil {
+		srvCfg.GAR = m.gar
+	}
 	st, err := attachCheckpointing(&s, o, &srvCfg, b.Name())
 	if err != nil {
 		return nil, err
@@ -235,6 +255,7 @@ func (b *ClusterBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Resu
 			Missed:       res.MissedGradients,
 			Credited:     res.CreditedGradients,
 			WorkerRounds: rounds,
+			Epochs:       res.Epochs,
 		},
 	}, nil
 }
@@ -250,7 +271,9 @@ func ServeSpec(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	srvCfg := serverConfig(&s, o, m.model.Dim(), m.initParams)
-	srvCfg.GAR = m.gar
+	if s.Membership == nil {
+		srvCfg.GAR = m.gar
+	}
 	st, err := attachCheckpointing(&s, o, &srvCfg, "cluster")
 	if err != nil {
 		return nil, err
@@ -278,6 +301,7 @@ func ServeSpec(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
 			Discarded: res.DiscardedSubmissions,
 			Missed:    res.MissedGradients,
 			Credited:  res.CreditedGradients,
+			Epochs:    res.Epochs,
 		},
 	}, nil
 }
@@ -288,8 +312,14 @@ func ServeSpec(ctx context.Context, s Spec, opts ...Option) (*Result, error) {
 // come from the shared run seed and the worker id), so a cluster assembled
 // from JoinSpec processes trains the same scenario as LocalBackend.
 func JoinSpec(ctx context.Context, s Spec, workerID int, opts ...Option) (*cluster.WorkerResult, error) {
-	if workerID < 0 || workerID >= s.GAR.N {
-		return nil, fmt.Errorf("spec: worker id %d outside [0, %d)", workerID, s.GAR.N)
+	maxID := s.GAR.N
+	if s.Membership != nil {
+		// Epoched membership admits late joiners beyond the initial cohort,
+		// up to the population cap.
+		maxID = s.Membership.MaxWorkers
+	}
+	if workerID < 0 || workerID >= maxID {
+		return nil, fmt.Errorf("spec: worker id %d outside [0, %d)", workerID, maxID)
 	}
 	o := applyOptions(opts)
 	m, err := s.materialize(o)

@@ -59,6 +59,16 @@ func (b *LocalBackend) config(s *Spec, o *runOptions) (simulate.Config, error) {
 		cfg.Stragglers = s.Staleness.Stragglers
 		cfg.LateDiscard = s.Staleness.late() == "discard"
 	}
+	if s.Membership != nil {
+		// The local cohort never churns, so MinWorkers/MaxWorkers have no
+		// local meaning; the deterministic half — epoch scheduling, per-epoch
+		// GAR re-materialization, per-epoch ledgers — mirrors the cluster.
+		cfg.Epochs = &simulate.EpochConfig{
+			EpochRounds: s.Membership.EpochRounds,
+			FRatio:      s.Membership.FRatio,
+			NewGAR:      s.NewGARFactory(),
+		}
+	}
 	return cfg, nil
 }
 
@@ -90,12 +100,13 @@ func (b *LocalBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Result
 		return nil, err
 	}
 	out := &Result{Backend: b.Name(), Params: res.Params, History: res.History}
-	if s.Staleness != nil {
+	if s.Staleness != nil || s.Membership != nil {
 		out.Cluster = &ClusterStats{
 			Accepted:  res.Accepted,
 			Discarded: res.Discarded,
 			Missed:    res.Missed,
 			Credited:  res.Credited,
+			Epochs:    res.Epochs,
 		}
 	}
 	return out, nil

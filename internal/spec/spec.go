@@ -27,6 +27,7 @@ import (
 	"dpbyz/internal/data"
 	"dpbyz/internal/dp"
 	"dpbyz/internal/gar"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/partition"
 )
 
@@ -68,6 +69,15 @@ type Spec struct {
 	// server fires the aggregate once n − f − stragglers submissions arrive,
 	// and one-round-late frames are credited to the next round or discarded.
 	Staleness *StalenessSpec `json:"staleness,omitempty"`
+	// Membership, when non-nil, enables epoched membership: the cluster
+	// server re-derives the worker view, f_e = ⌊fRatio·n_e⌋ and the
+	// aggregation rule every epochRounds rounds, admitting joins and
+	// evicting crashed or silent workers at epoch boundaries. GAR.N is the
+	// initial cohort and must lie in [minWorkers, maxWorkers]; GAR.F must
+	// equal ⌊fRatio·GAR.N⌋ so the declared rule matches epoch 0. The local
+	// backend mirrors the deterministic half on its fixed cohort (epoch
+	// scheduling, per-epoch GAR re-materialization, per-epoch ledgers).
+	Membership *MembershipSpec `json:"membership,omitempty"`
 	// Attack, when non-nil, makes the first GAR.F workers Byzantine with the
 	// named attack.
 	Attack *AttackSpec `json:"attack,omitempty"`
@@ -186,6 +196,19 @@ type StalenessSpec struct {
 	// sender's slot is empty; "discard" drops it. Older frames are always
 	// discarded.
 	Late string `json:"late,omitempty"`
+}
+
+// MembershipSpec enables epoched membership (churn tolerance).
+type MembershipSpec struct {
+	// MinWorkers is the population floor: the run starts once this many
+	// workers joined and aborts if a boundary would leave fewer live.
+	MinWorkers int `json:"minWorkers"`
+	// MaxWorkers caps the population and the worker-id range [0, MaxWorkers).
+	MaxWorkers int `json:"maxWorkers"`
+	// FRatio derives each epoch's Byzantine allowance f_e = ⌊fRatio·n_e⌋.
+	FRatio float64 `json:"fRatio"`
+	// EpochRounds is the epoch boundary spacing in rounds.
+	EpochRounds int `json:"epochRounds"`
 }
 
 // AttackSpec references a Byzantine attack by registry name.
@@ -352,6 +375,24 @@ func (s *Spec) Quorum() int {
 	return s.GAR.N - s.GAR.F - s.Staleness.Stragglers
 }
 
+// NewGARFactory returns the (n, f) → aggregation-rule constructor the
+// epoched-membership modes re-materialize at every boundary, honoring the
+// Spec's GAR name and topology. The factory is deterministic: the bucketed
+// deal reuses the Spec's topology seed, so the same (n, f) always yields an
+// equivalent rule — the property resume bit-identity rests on.
+func (s *Spec) NewGARFactory() func(n, f int) (gar.GAR, error) {
+	name := s.GAR.Name
+	if s.Topology.name() == "bucketed" {
+		size, seed := s.Topology.BucketSize, s.Topology.seed(s.Seed)
+		return func(n, f int) (gar.GAR, error) {
+			return gar.NewBucketed(name, n, f, size, seed)
+		}
+	}
+	return func(n, f int) (gar.GAR, error) {
+		return gar.New(name, n, f)
+	}
+}
+
 // Validate checks the Spec for structural errors without materializing it.
 // Registry names are resolved, so an unknown GAR/attack/mechanism/model name
 // fails here rather than mid-run.
@@ -406,6 +447,24 @@ func (s *Spec) Validate() error {
 		case "credit", "discard":
 		default:
 			return fmt.Errorf("spec: unknown staleness late policy %q", late)
+		}
+	}
+	if m := s.Membership; m != nil {
+		if err := (membership.Config{
+			MinWorkers:  m.MinWorkers,
+			MaxWorkers:  m.MaxWorkers,
+			FRatio:      m.FRatio,
+			EpochRounds: m.EpochRounds,
+		}).Validate(); err != nil {
+			return err
+		}
+		if s.GAR.N < m.MinWorkers || s.GAR.N > m.MaxWorkers {
+			return fmt.Errorf("spec: gar.n %d outside membership [%d, %d]",
+				s.GAR.N, m.MinWorkers, m.MaxWorkers)
+		}
+		if f := int(m.FRatio*float64(s.GAR.N) + 1e-9); f != s.GAR.F {
+			return fmt.Errorf("spec: membership fRatio %v derives f=%d at n=%d, but gar.f is %d",
+				m.FRatio, f, s.GAR.N, s.GAR.F)
 		}
 	}
 	if s.Partition != nil {

@@ -19,6 +19,7 @@ func fullSpec() Spec {
 		GAR:               GARSpec{Name: "trimmedmean", N: 11, F: 2},
 		Topology:          &TopologySpec{Name: "bucketed", BucketSize: 2, Seed: 13},
 		Staleness:         &StalenessSpec{Stragglers: 2, Late: "discard"},
+		Membership:        &MembershipSpec{MinWorkers: 9, MaxWorkers: 12, FRatio: 0.2, EpochRounds: 10},
 		Attack:            &AttackSpec{Name: "alie"},
 		Mechanism:         &MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
 		Steps:             60,
@@ -77,6 +78,7 @@ func TestSpecUnknownFieldRejected(t *testing.T) {
 		`{"version": 1, "gar": {"name": "mda", "n": 5, "f": 1, "byzantine": 2}}`,
 		`{"version": 1, "data": {"file": "phishing.t"}}`,
 		`{"version": 1, "mechanism": {"name": "gaussian", "eps": 0.2}}`,
+		`{"version": 1, "membership": {"minWorkers": 2, "evictAfter": 3}}`,
 	} {
 		if _, err := Parse([]byte(doc)); err == nil {
 			t.Errorf("Parse(%s) accepted a document with an unknown field", doc)

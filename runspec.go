@@ -7,6 +7,7 @@ import (
 	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/cluster"
 	"dpbyz/internal/dp"
+	"dpbyz/internal/membership"
 	"dpbyz/internal/partition"
 	"dpbyz/internal/spec"
 )
@@ -37,6 +38,13 @@ type (
 	// fires at n − f − stragglers submissions; late frames are credited or
 	// discarded).
 	StalenessSpec = spec.StalenessSpec
+	// MembershipSpec enables epoched membership — churn tolerance: workers
+	// join mid-run, crashed or silent ones are evicted at epoch boundaries,
+	// and f and the aggregation rule are re-derived per epoch.
+	MembershipSpec = spec.MembershipSpec
+	// EpochStat is one epoch's exact membership ledger (view, n, f, rounds,
+	// accepted/missed slots).
+	EpochStat = membership.EpochStat
 	// AttackSpec references a Byzantine attack by registry name.
 	AttackSpec = spec.AttackSpec
 	// MechanismSpec references a DP mechanism by registry name.
