@@ -1,0 +1,97 @@
+// Command dpbyz-fleet runs the long-lived multi-run control plane: an HTTP
+// service that accepts run-spec submissions, schedules them across the
+// local and cluster backends with the bounded deterministic pool, persists
+// every in-flight run so a killed-and-restarted service resumes each one
+// bit-identically, and streams per-run telemetry to any number of clients
+// with resumable cursors.
+//
+//	dpbyz-fleet -root /var/lib/dpbyz -addr 127.0.0.1:8080
+//
+//	# submit a run (a Spec, an array of Specs, or a submission envelope)
+//	dpbyz-train -gar mda -attack alie -steps 200 -dump-spec |
+//	    curl -s -X POST --data-binary @- http://127.0.0.1:8080/runs
+//
+//	# follow its telemetry; reconnect later with ?cursor=N to resume
+//	curl -sN http://127.0.0.1:8080/runs/run-00000000/events
+//
+// On SIGINT/SIGTERM the service drains gracefully: in-flight runs flush a
+// final snapshot and the store is left ready for the next start to resume
+// every interrupted run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpbyz/internal/fleet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbyz-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		root      = flag.String("root", "fleet-store", "run-store directory (created if needed; restart resumes its runs)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		width     = flag.Int("width", 0, "max concurrently executing runs (0 = GOMAXPROCS)")
+		ckptEvery = flag.Int("checkpoint-every", fleet.DefaultCheckpointEvery, "default snapshot cadence in steps for submissions that do not set one")
+		verbose   = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	svc, err := fleet.Open(fleet.Config{
+		Root:            *root,
+		Width:           *width,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fleet listening on %s (store %s)\n", *addr, *root)
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting requests, let open streams finish
+		// briefly, interrupt in-flight runs (each flushes a final snapshot)
+		// and flush every event log. Exit zero — nothing was lost.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			svc.Stop()
+			return fmt.Errorf("http shutdown: %w", err)
+		}
+		svc.Stop()
+		fmt.Fprintln(os.Stderr, "fleet stopped; store ready to resume")
+		return nil
+	case err := <-errCh:
+		svc.Stop()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -82,6 +83,18 @@ func run() error {
 	defer stop()
 	res, err := dpbyz.ServeSpec(ctx, *s, opts...)
 	if err != nil {
+		// A clean interrupt is a success: the server flushed a final snapshot
+		// of the completed rounds on the way out (with -checkpoint), so the
+		// run resumes with -resume once the workers reconnect. A failed
+		// snapshot flush does not match context.Canceled and stays nonzero.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			if *ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "interrupted; resumable checkpoint flushed to %s\n", *ckptPath)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted")
+			}
+			return nil
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "done: %d rounds, %d missed gradients, %d discarded\n",

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		specPath = flag.String("spec", "", "JSON run-spec file (overrides the scenario flags)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the run spec as JSON and exit without training")
@@ -191,7 +192,14 @@ func run() error {
 			defer f.Close()
 			out = f
 		}
-		opts = append(opts, dpbyz.WithObserver(dpbyz.NewJSONLSink(out)))
+		sink := dpbyz.NewJSONLSink(out)
+		// The sink buffers; an unflushed close truncates the final lines.
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("flush jsonl: %w", cerr)
+			}
+		}()
+		opts = append(opts, dpbyz.WithObserver(sink))
 	}
 	if *progress > 0 {
 		opts = append(opts, dpbyz.WithObserver(dpbyz.NewProgressSink(os.Stderr, *progress)))
@@ -212,6 +220,18 @@ func run() error {
 	defer stop()
 	res, err := be.Run(ctx, s, opts...)
 	if err != nil {
+		// A clean interrupt is a success: the backend flushed a final
+		// checkpoint of the completed prefix on the way out (when -checkpoint
+		// is set), so the run resumes with -resume. A failed snapshot flush
+		// does not match context.Canceled and stays a nonzero exit.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			if *ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "interrupted; resumable checkpoint flushed to %s\n", *ckptPath)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted")
+			}
+			return nil
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "final: loss=%.6g acc=%.4f\n",

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +60,13 @@ func run() error {
 		dpbyz.WithMaxFrameBytes(*maxFrame<<20),
 	)
 	if err != nil {
+		// A clean interrupt is a success: the worker holds no resumable
+		// state of its own (it restarts its streams on rejoin), so there is
+		// nothing to lose — report and exit zero.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "worker %d interrupted\n", *id)
+			return nil
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "worker %d finished after %d rounds", *id, res.Rounds)

@@ -325,5 +325,38 @@
 // per-round processing reuse caller-owned buffers, so the steady-state
 // round loop allocates no gradient-sized memory on either transport.
 //
+// # Fleet service
+//
+// cmd/dpbyz-fleet (internal/fleet) is the long-lived multi-run control
+// plane over everything above: an HTTP service that accepts Spec
+// submissions — a bare Spec, an array of Specs, or a Submission envelope
+// with scheduling knobs (ParseSubmission; re-exported here as Submission,
+// RunID, FormatRunID) — and schedules them across the local and cluster
+// backends on the bounded deterministic pool (up to -width concurrently,
+// queued in priority-then-submission order; results are bit-identical at
+// every width).
+//
+//	dpbyz-fleet -root /var/lib/dpbyz -addr 127.0.0.1:8080
+//	dpbyz-train -gar mda -attack alie -steps 200 -dump-spec |
+//	    curl -s -X POST --data-binary @- http://127.0.0.1:8080/runs
+//	curl -sN http://127.0.0.1:8080/runs/run-00000000/events
+//
+// Every run persists in the store directory (spec, metadata, checkpoint
+// snapshots at the submission's cadence, and a per-step telemetry log
+// flushed before each snapshot). That write ordering is the crash-safety
+// contract: a service killed with runs in flight — SIGKILL, not merely
+// SIGTERM — restarts, resumes each interrupted run from its snapshot, and
+// finishes with final parameters bit-identical to an uninterrupted
+// service, regenerating the identical telemetry along the way. Clients
+// stream GET /runs/{id}/events as ndjson with a resumable cursor
+// (?cursor=N or Last-Event-ID), so a consumer that disconnects and
+// reconnects sees every event exactly once even across a service crash;
+// DELETE /runs/{id} cancels a queued or running run with no side effects
+// beyond its already-flushed prefix, and GET /metrics reports throughput
+// and stream counters (BENCH_fleet.json records the measured rates). On
+// SIGINT/SIGTERM the service itself drains gracefully: in-flight runs
+// flush a final snapshot and the store is left ready for the next start
+// to resume them.
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package dpbyz

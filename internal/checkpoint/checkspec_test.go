@@ -1,0 +1,157 @@
+package checkpoint_test
+
+// CheckSpec is the gate fleet resume validation rests on: a service
+// restarting with a stored snapshot must refuse to continue it under any
+// drifted scenario. These tests drive the rejection paths with real Spec
+// documents differing on exactly one axis each — membership, staleness,
+// partition and the other resume-relevant fields — rather than the synthetic
+// fragments the in-package tests use.
+
+import (
+	"testing"
+
+	"dpbyz/internal/checkpoint"
+	"dpbyz/internal/randx"
+	"dpbyz/internal/spec"
+)
+
+// checkSpecBase is a scenario exercising every optional axis, so each case
+// below can flip one field and nothing else.
+func checkSpecBase() spec.Spec {
+	return spec.Spec{
+		Data:           spec.DataSpec{N: 600, Features: 10},
+		GAR:            spec.GARSpec{Name: "trimmedmean", N: 8, F: 2},
+		Partition:      &spec.PartitionSpec{Name: "dirichlet", Beta: 0.3},
+		Staleness:      &spec.StalenessSpec{Stragglers: 1, Late: "credit"},
+		Membership:     &spec.MembershipSpec{MinWorkers: 6, MaxWorkers: 10, FRatio: 0.25, EpochRounds: 10},
+		Steps:          40,
+		BatchSize:      20,
+		LearningRate:   2,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           1,
+	}
+}
+
+func snapshotFor(t *testing.T, s spec.Spec, backend string) *checkpoint.RunState {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	doc, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &checkpoint.RunState{
+		Version: checkpoint.RunStateVersion,
+		Backend: backend,
+		Spec:    doc,
+		Step:    10,
+		Params:  []float64{1, 2, 3},
+		AttackRng: func() *randx.StreamState {
+			st := randx.New(3).State()
+			return &st
+		}(),
+	}
+}
+
+func TestCheckSpecCrossScenarioRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*spec.Spec)
+	}{
+		{"cross-membership epoch spacing", func(s *spec.Spec) { s.Membership.EpochRounds = 20 }},
+		{"cross-membership population", func(s *spec.Spec) { s.Membership.MinWorkers = 4 }},
+		{"membership dropped", func(s *spec.Spec) {
+			s.Membership = nil
+			// Keep the spec self-consistent: without membership the declared
+			// (n, f) no longer needs to match a ratio.
+		}},
+		{"cross-staleness budget", func(s *spec.Spec) { s.Staleness.Stragglers = 2 }},
+		{"cross-staleness late policy", func(s *spec.Spec) { s.Staleness.Late = "discard" }},
+		{"staleness dropped", func(s *spec.Spec) { s.Staleness = nil }},
+		{"cross-partition name", func(s *spec.Spec) { s.Partition = &spec.PartitionSpec{Name: "shard"} }},
+		{"cross-partition beta", func(s *spec.Spec) { s.Partition.Beta = 0.7 }},
+		{"partition dropped", func(s *spec.Spec) { s.Partition = nil }},
+		{"cross-seed", func(s *spec.Spec) { s.Seed = 2 }},
+		{"cross-gar", func(s *spec.Spec) { s.GAR.Name = "median" }},
+		{"cross-steps", func(s *spec.Spec) { s.Steps = 80 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := snapshotFor(t, checkSpecBase(), "local")
+			other := checkSpecBase()
+			tc.mutate(&other)
+			if err := other.Validate(); err != nil {
+				t.Fatalf("mutated spec invalid (test bug): %v", err)
+			}
+			doc, err := other.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.CheckSpec("local", doc); err == nil {
+				t.Fatal("snapshot accepted under a drifted scenario")
+			}
+		})
+	}
+}
+
+// The matching document — re-encoded, not byte-copied — must keep resuming,
+// whatever the formatting, and on either side's backend wildcard.
+func TestCheckSpecSameScenarioAccepted(t *testing.T) {
+	st := snapshotFor(t, checkSpecBase(), "local")
+	doc, err := checkSpecBase().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckSpec("local", doc); err != nil {
+		t.Fatalf("same scenario rejected: %v", err)
+	}
+	// Whitespace-insensitive: a compacted document still matches.
+	if err := st.CheckSpec("local", []byte(compactJSON(t, doc))); err != nil {
+		t.Fatalf("compacted same scenario rejected: %v", err)
+	}
+	if err := st.CheckSpec("", doc); err != nil {
+		t.Fatalf("absent backend side rejected: %v", err)
+	}
+}
+
+// Cross-backend resumes are rejected regardless of the spec matching.
+func TestCheckSpecCrossBackendRejected(t *testing.T) {
+	st := snapshotFor(t, checkSpecBase(), "local")
+	doc, err := checkSpecBase().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckSpec("cluster", doc); err == nil {
+		t.Fatal("local snapshot resumed on the cluster backend")
+	}
+}
+
+func compactJSON(t *testing.T, b []byte) string {
+	t.Helper()
+	out := make([]byte, 0, len(b))
+	inString := false
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if inString {
+			out = append(out, c)
+			if c == '\\' && i+1 < len(b) {
+				out = append(out, b[i+1])
+				i++
+			} else if c == '"' {
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+		case '"':
+			inString = true
+			out = append(out, c)
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -30,12 +30,15 @@ func helloOnly(t *testing.T, tr Transport, addr string, id int) *conn {
 // Regression test for the cancelled-round commit bug: a context cancellation
 // that lands mid-collect used to fall through to zero-padding, aggregation,
 // the momentum update and the step hook — committing a round built from a
-// cancelled collect. Cancellation must abort the round with NO side effects:
-// no history record, no hook call, no snapshot.
+// cancelled collect. Cancellation must abort the round with NO side effects
+// on the trajectory: no history record, no hook call, no snapshot OF THE
+// CANCELLED ROUND. The graceful-shutdown contract does flush exactly one
+// final snapshot of the completed prefix — here zero committed rounds — so
+// resumable progress survives an interrupt.
 func TestServerCancelMidCollectCommitsNothing(t *testing.T) {
 	const n = 2
 	tr := NewChanTransport()
-	var hookCalls, snapCalls atomic.Int64
+	var hookCalls, snapCalls, lastSnapStep atomic.Int64
 	srv, err := NewServer(ServerConfig{
 		Addr:         "cancel-collect",
 		Transport:    tr,
@@ -51,8 +54,9 @@ func TestServerCancelMidCollectCommitsNothing(t *testing.T) {
 			return nil
 		},
 		SnapshotEvery: 1,
-		SnapshotFunc: func(int, []float64, []float64) error {
+		SnapshotFunc: func(step int, _, _ []float64) error {
 			snapCalls.Add(1)
+			lastSnapStep.Store(int64(step))
 			return nil
 		},
 	})
@@ -93,8 +97,13 @@ func TestServerCancelMidCollectCommitsNothing(t *testing.T) {
 	if got := hookCalls.Load(); got != 0 {
 		t.Errorf("cancelled round invoked the step hook %d times (round committed)", got)
 	}
-	if got := snapCalls.Load(); got != 0 {
-		t.Errorf("cancelled round captured %d snapshots", got)
+	// The cancelled round itself is never snapshotted; the shutdown flushes
+	// exactly one snapshot of the completed prefix, which is empty here.
+	if got := snapCalls.Load(); got != 1 {
+		t.Errorf("cancellation flushed %d snapshots, want exactly 1 (the completed prefix)", got)
+	}
+	if got := lastSnapStep.Load(); got != 0 {
+		t.Errorf("final snapshot claims %d completed rounds, want 0 (round 0 was cancelled mid-collect)", got)
 	}
 }
 

@@ -380,12 +380,27 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			CreditedGradients:    credited,
 		}
 	}
+	// abort tears a cancelled run down at `completed` committed rounds:
+	// an interrupted run flushes a final snapshot of its completed prefix
+	// (best-effort — the interruption is still the error), so a graceful
+	// shutdown never loses resumable progress.
+	abort := func(completed int) error {
+		finish(w)
+		// A failed flush wraps the flush error, not the cancellation, so
+		// callers that treat a clean interrupt as success still see a lost
+		// snapshot as the failure it is.
+		if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotFunc != nil {
+			if serr := s.cfg.SnapshotFunc(completed, w, velocity); serr != nil {
+				return fmt.Errorf("cluster: round %d: %v (final snapshot: %w)", completed, ctx.Err(), serr)
+			}
+		}
+		return fmt.Errorf("cluster: round %d: %w", completed, ctx.Err())
+	}
 
 	for step := s.cfg.StartStep; step < s.cfg.Steps; step++ {
 		select {
 		case <-ctx.Done():
-			finish(w)
-			return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
+			return nil, abort(step)
 		default:
 		}
 
@@ -440,8 +455,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 						submissions[i] = nil
 					}
 				}
-				finish(w)
-				return nil, fmt.Errorf("cluster: round %d: %w", step, ctx.Err())
+				return nil, abort(step)
 			}
 		}
 		timer.Stop()

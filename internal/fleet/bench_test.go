@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dpbyz/internal/spec"
+)
+
+// benchSpec is a small but real run — the benchmarks measure the control
+// plane (scheduling, persistence, streaming), not the trainer.
+func benchSpec(seed uint64) spec.Spec {
+	return spec.Spec{
+		Data:         spec.DataSpec{N: 200, Features: 5},
+		GAR:          spec.GARSpec{Name: "average", N: 3},
+		Steps:        20,
+		BatchSize:    10,
+		LearningRate: 0.5,
+		Seed:         seed,
+	}
+}
+
+// BenchmarkFleetThroughput measures sustained submit-to-done runs/sec
+// through the service: one batch of b.N specs, waited to completion. Each
+// run pays the full control-plane path — spec persistence, event log,
+// checkpoint snapshots, meta transitions.
+//
+// Reproduce with:
+//
+//	go test ./internal/fleet -run '^$' -bench BenchmarkFleetThroughput -benchmem
+func BenchmarkFleetThroughput(b *testing.B) {
+	svc, err := Open(Config{Root: b.TempDir(), Width: 0, CheckpointEvery: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Stop()
+	runs := make([]spec.Spec, b.N)
+	for i := range runs {
+		runs[i] = benchSpec(uint64(i + 1))
+	}
+	b.ResetTimer()
+	ids, err := svc.Submit(&spec.Submission{Runs: runs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range ids {
+		done, err := svc.Finished(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	for _, id := range ids {
+		meta, err := svc.Meta(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.Status != StatusDone {
+			b.Fatalf("run %s ended %q (%s)", id, meta.Status, meta.Error)
+		}
+	}
+}
+
+// BenchmarkFleetStreamFanout32 measures telemetry delivery with 32
+// concurrent HTTP stream clients each replaying a 500-event run to the end.
+// One op = 32 full streams (16k events delivered over real sockets).
+//
+// Reproduce with:
+//
+//	go test ./internal/fleet -run '^$' -bench BenchmarkFleetStreamFanout32 -benchmem
+func BenchmarkFleetStreamFanout32(b *testing.B) {
+	const (
+		steps   = 500
+		streams = 32
+	)
+	svc, err := Open(Config{Root: b.TempDir(), Width: 1, CheckpointEvery: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Stop()
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	sp := benchSpec(1)
+	sp.Steps = steps
+	ids, err := svc.Submit(&spec.Submission{Runs: []spec.Spec{sp}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done, err := svc.Finished(ids[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	url := ts.URL + "/runs/" + string(ids[0]) + "/events"
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, streams)
+		for c := 0; c < streams; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				n := 0
+				for sc.Scan() {
+					n++
+				}
+				if err := sc.Err(); err != nil {
+					errs <- err
+					return
+				}
+				if n != steps {
+					b.Errorf("stream delivered %d events, want %d", n, steps)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streams*steps), "events/op")
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkEvent(step int) Event {
+	return Event{Step: step, Loss: float64(step) * 0.5}
+}
+
+func TestEventLogAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := log.Append(mkEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", log.Len())
+	}
+	lines, _, closed := log.Next(2)
+	if closed {
+		t.Error("open log reports closed")
+	}
+	if len(lines) != 3 {
+		t.Fatalf("Next(2) returned %d lines, want 3", len(lines))
+	}
+	ev, err := log.Event(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 3 || ev.Step != 3 || ev.Loss != 1.5 {
+		t.Errorf("event 3 = %+v", ev)
+	}
+	// Misaligned append (a seq/step mismatch) is rejected.
+	if err := log.Append(mkEvent(9)); err == nil {
+		t.Error("misaligned append accepted")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload: every line survives the close.
+	log2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.Len() != 5 {
+		t.Fatalf("reloaded Len = %d, want 5", log2.Len())
+	}
+}
+
+func TestEventLogDropsTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := log.Append(mkEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves a final line without its newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"step":3,"lo`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2.Len() != 3 {
+		t.Fatalf("Len = %d after torn write, want 3 (partial line dropped)", log2.Len())
+	}
+	// The file was repaired too: the next append lands as a complete line 3.
+	if err := log2.Append(mkEvent(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log3, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if log3.Len() != 4 {
+		t.Fatalf("Len = %d after repair+append, want 4", log3.Len())
+	}
+	ev, err := log3.Event(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Step != 3 {
+		t.Errorf("event 3 step = %d", ev.Step)
+	}
+}
+
+func TestEventLogTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := log.Append(mkEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 4 {
+		t.Fatalf("Len = %d after Truncate(4), want 4", log.Len())
+	}
+	// Appends continue from the truncation point, and the file agrees.
+	if err := log.Append(mkEvent(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.Len() != 5 {
+		t.Fatalf("reloaded Len = %d, want 5", log2.Len())
+	}
+}
+
+func TestEventLogAbandonDropsBufferedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := log.Append(mkEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// More lines, never flushed: a crash (Abandon) loses exactly these.
+	for i := 3; i < 6; i++ {
+		if err := log.Append(mkEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Abandon()
+	if err := log.Append(mkEvent(6)); err == nil {
+		t.Error("append to abandoned log accepted")
+	}
+
+	log2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.Len() != 3 {
+		t.Fatalf("Len = %d after abandon, want 3 (only flushed lines survive)", log2.Len())
+	}
+}
+
+func TestEventLogWakesWaiters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	_, changed, _ := log.Next(0)
+	done := make(chan struct{})
+	go func() {
+		<-changed
+		close(done)
+	}()
+	if err := log.Append(mkEvent(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-done // hangs (test times out) if Append fails to broadcast
+	lines, _, _ := log.Next(0)
+	if len(lines) != 1 {
+		t.Fatalf("Next(0) after wakeup returned %d lines", len(lines))
+	}
+}

@@ -1,0 +1,418 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dpbyz/internal/checkpoint"
+	"dpbyz/internal/spec"
+)
+
+// fleetSpec is a DP + attack + worker-momentum run — every piece of
+// per-step mutable state is live, so the kill-and-resume test below can
+// only pass if the whole snapshot/event-log machinery is exact.
+func fleetSpec(steps int, seed uint64) spec.Spec {
+	return spec.Spec{
+		Data:           spec.DataSpec{N: 600, Features: 10},
+		GAR:            spec.GARSpec{Name: "trimmedmean", N: 7, F: 2},
+		Attack:         &spec.AttackSpec{Name: "alie"},
+		Mechanism:      &spec.MechanismSpec{Name: "gaussian", Epsilon: 0.5, Delta: 1e-6},
+		Steps:          steps,
+		BatchSize:      20,
+		LearningRate:   2,
+		WorkerMomentum: 0.99,
+		ClipNorm:       0.01,
+		Seed:           seed,
+	}
+}
+
+// waitFinished blocks until the run is terminal or the deadline passes.
+func waitFinished(t *testing.T, svc *Service, id spec.RunID, timeout time.Duration) {
+	t.Helper()
+	done, err := svc.Finished(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("run %s did not finish within %v", id, timeout)
+	}
+}
+
+// assertEventsExactlyOnce checks the run's log holds events 0..steps-1,
+// each exactly once, in order — the no-loss/no-duplication invariant.
+func assertEventsExactlyOnce(t *testing.T, log *EventLog, steps int) {
+	t.Helper()
+	if log.Len() != steps {
+		t.Fatalf("event log has %d lines, want %d", log.Len(), steps)
+	}
+	for i := 0; i < steps; i++ {
+		ev, err := log.Event(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != i || ev.Step != i {
+			t.Fatalf("event %d = seq %d step %d (duplicate or gap)", i, ev.Seq, ev.Step)
+		}
+	}
+}
+
+// The acceptance test: a fleet service killed with >= 2 runs in flight and
+// restarted produces final params bit-identical to an uninterrupted
+// service, and the regenerated event logs hold every event exactly once.
+func TestFleetKillResumeBitIdentity(t *testing.T) {
+	const (
+		steps = 1000
+		every = 25
+		nRuns = 2
+	)
+	root := t.TempDir()
+
+	// Reference trajectories: direct uninterrupted backend runs.
+	want := make([][]float64, nRuns)
+	for i := 0; i < nRuns; i++ {
+		res, err := (&spec.LocalBackend{}).Run(context.Background(), fleetSpec(steps, uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Params
+	}
+
+	// Service A: both runs in flight concurrently.
+	svcA, err := Open(Config{Root: root, Width: nRuns, CheckpointEvery: every, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &spec.Submission{Runs: []spec.Spec{fleetSpec(steps, 1), fleetSpec(steps, 2)}, CheckpointEvery: every}
+	ids, err := svcA.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != nRuns {
+		t.Fatalf("submitted %d runs, want %d", len(ids), nRuns)
+	}
+
+	// Wait until both runs are demonstrably mid-flight (some telemetry, not
+	// done), then kill the service — buffered events die with it and the
+	// store keeps only what the durability contract promised.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		progressed := 0
+		for _, id := range ids {
+			log, err := svcA.Events(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := log.Len(); n >= every && n < steps {
+				progressed++
+			}
+			if log.Len() >= steps {
+				t.Fatalf("run %s finished before the kill; raise steps", id)
+			}
+		}
+		if progressed == nRuns {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runs never reached mid-flight")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	svcA.Kill()
+
+	// The killed store is genuinely stale: meta still says running, the log
+	// may exceed the snapshot (flushed-but-unsnapshotted progress) and the
+	// snapshot is behind the trajectory the dead service had computed.
+	for _, id := range ids {
+		meta, err := NewStore(root).LoadMeta(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Status != StatusRunning {
+			t.Fatalf("killed run %s has status %q on disk, want running", id, meta.Status)
+		}
+	}
+
+	// Service B on the same store: every run resumes and completes.
+	svcB, err := Open(Config{Root: root, Width: nRuns, CheckpointEvery: every, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcB.Stop()
+	for _, id := range ids {
+		waitFinished(t, svcB, id, 60*time.Second)
+	}
+
+	for i, id := range ids {
+		meta, err := svcB.Meta(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Status != StatusDone {
+			t.Fatalf("resumed run %s ended %q (%s), want done", id, meta.Status, meta.Error)
+		}
+		snap, err := svcB.Snapshot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap == nil || snap.Step != steps {
+			t.Fatalf("run %s final snapshot missing or at wrong step", id)
+		}
+		if len(snap.Params) != len(want[i]) {
+			t.Fatalf("run %s param dims %d vs %d", id, len(snap.Params), len(want[i]))
+		}
+		for j := range snap.Params {
+			if snap.Params[j] != want[i][j] {
+				t.Fatalf("run %s param %d differs after kill+resume: %v vs %v",
+					id, j, snap.Params[j], want[i][j])
+			}
+		}
+		log, err := svcB.Events(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEventsExactlyOnce(t, log, steps)
+	}
+}
+
+// A graceful stop leaves the store resumable too: interrupted runs flush a
+// final snapshot, stay non-terminal on disk, and a reopened service
+// finishes them with the same exactly-once event history.
+func TestFleetStopResume(t *testing.T) {
+	const (
+		steps = 1000
+		every = 25
+	)
+	root := t.TempDir()
+	svcA, err := Open(Config{Root: root, Width: 1, CheckpointEvery: every, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := svcA.Submit(&spec.Submission{Runs: []spec.Spec{fleetSpec(steps, 7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ids[0]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		log, err := svcA.Events(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := log.Len(); n >= every && n < steps {
+			break
+		}
+		if log.Len() >= steps {
+			t.Fatal("run finished before the stop; raise steps")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never reached mid-flight")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	svcA.Stop()
+
+	// The graceful path flushed a snapshot on interrupt: snapshot and log
+	// both exist, with log length >= snapshot step (the durability bound).
+	st, err := checkpoint.LoadRunState(NewStore(root).Dir(id).SnapshotPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step <= 0 || st.Step >= steps {
+		t.Fatalf("interrupt snapshot at step %d", st.Step)
+	}
+
+	svcB, err := Open(Config{Root: root, Width: 1, CheckpointEvery: every, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcB.Stop()
+	waitFinished(t, svcB, id, 60*time.Second)
+	meta, err := svcB.Meta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != StatusDone {
+		t.Fatalf("run ended %q (%s), want done", meta.Status, meta.Error)
+	}
+	log, err := svcB.Events(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEventsExactlyOnce(t, log, steps)
+}
+
+// DELETE semantics: a queued run never starts; a running run aborts with
+// no side effects beyond its flushed prefix; both end cancelled.
+func TestFleetCancel(t *testing.T) {
+	root := t.TempDir()
+	svc, err := Open(Config{Root: root, Width: 1, CheckpointEvery: 10, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	// Width 1: the first run occupies the worker; the second stays queued.
+	ids, err := svc.Submit(&spec.Submission{Runs: []spec.Spec{
+		fleetSpec(4000, 1), fleetSpec(50, 2),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, queued := ids[0], ids[1]
+
+	// Cancel the queued run before it ever starts.
+	if err := svc.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, svc, queued, 10*time.Second)
+	meta, err := svc.Meta(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != StatusCancelled {
+		t.Fatalf("queued run ended %q, want cancelled", meta.Status)
+	}
+	log, err := svc.Events(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("cancelled-before-start run logged %d events", log.Len())
+	}
+
+	// Cancel the running run mid-flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		log, err := svc.Events(running)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if log.Len() >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never progressed")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := svc.Cancel(running); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, svc, running, 30*time.Second)
+	meta, err = svc.Meta(running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != StatusCancelled {
+		t.Fatalf("running run ended %q (%s), want cancelled", meta.Status, meta.Error)
+	}
+	// Cancelling a terminal run is a conflict, not a repeat.
+	if err := svc.Cancel(running); err != ErrNotRunning {
+		t.Fatalf("second cancel returned %v, want ErrNotRunning", err)
+	}
+}
+
+// A cluster-backend submission runs to done through the same control plane.
+func TestFleetClusterBackend(t *testing.T) {
+	root := t.TempDir()
+	svc, err := Open(Config{Root: root, Width: 1, CheckpointEvery: 10, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	sp := spec.Spec{
+		Data:         spec.DataSpec{N: 400, Features: 8},
+		GAR:          spec.GARSpec{Name: "trimmedmean", N: 5, F: 1},
+		Attack:       &spec.AttackSpec{Name: "signflip"},
+		Steps:        30,
+		BatchSize:    10,
+		LearningRate: 1,
+		Seed:         3,
+	}
+	ids, err := svc.Submit(&spec.Submission{Backend: "cluster", Runs: []spec.Spec{sp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, svc, ids[0], 60*time.Second)
+	meta, err := svc.Meta(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != StatusDone {
+		t.Fatalf("cluster run ended %q (%s), want done", meta.Status, meta.Error)
+	}
+	if meta.Cluster == nil {
+		t.Fatal("cluster run carries no ClusterStats")
+	}
+	if got := meta.Cluster.Accepted + meta.Cluster.Missed; got != 5*30 {
+		t.Fatalf("accounting: accepted+missed = %d, want %d", got, 5*30)
+	}
+	log, err := svc.Events(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEventsExactlyOnce(t, log, 30)
+}
+
+// Priority orders queued runs: with one worker busy, a later high-priority
+// submission overtakes earlier low-priority ones.
+func TestFleetPriorityScheduling(t *testing.T) {
+	root := t.TempDir()
+	svc, err := Open(Config{Root: root, Width: 1, CheckpointEvery: 50, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	// Occupy the single worker long enough that the later submissions are
+	// genuinely queued behind it (it is cancelled at the end, not awaited).
+	blocker, err := svc.Submit(&spec.Submission{Runs: []spec.Spec{fleetSpec(500000, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The low-priority run is long so it cannot slip to done in the gap
+	// between the high-priority run finishing and the assertion below.
+	low, err := svc.Submit(&spec.Submission{Priority: 1, Runs: []spec.Spec{fleetSpec(500000, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := svc.Submit(&spec.Submission{Priority: 9, Runs: []spec.Spec{fleetSpec(40, 3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are queued while the blocker runs; release the worker and let the
+	// scheduler pick. Priority must beat submission order.
+	lowMeta, err := svc.Meta(low[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	highMeta, err := svc.Meta(high[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowMeta.Status != StatusPending || highMeta.Status != StatusPending {
+		t.Fatalf("queued runs not pending (low %q, high %q); blocker too short",
+			lowMeta.Status, highMeta.Status)
+	}
+	if err := svc.Cancel(blocker[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, svc, high[0], 60*time.Second)
+	// When the high-priority run finishes, the low one must not have
+	// finished first (it started strictly later on the single worker).
+	lowMeta, err = svc.Meta(low[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowMeta.Status == StatusDone {
+		t.Fatal("low-priority run finished before the high-priority one on a width-1 pool")
+	}
+	if err := svc.Cancel(low[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, svc, low[0], 60*time.Second)
+	waitFinished(t, svc, blocker[0], 60*time.Second)
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dpbyz/internal/spec"
+)
+
+// Server is the fleet's HTTP edge over a Service:
+//
+//	POST   /runs              submit a Spec, an array of Specs, or a Submission envelope
+//	GET    /runs              every run's metadata, in submission order
+//	GET    /runs/{id}         one run's status (?params=1 adds snapshot params)
+//	GET    /runs/{id}/events  resumable ndjson event stream (?cursor=N / Last-Event-ID)
+//	DELETE /runs/{id}         cancel with no side effects
+//	GET    /metrics           service counters
+//
+// The edge is intentionally thin: every decision lives in the Service; the
+// handlers translate HTTP. This file is the only part of the package that
+// reads the wall clock — telemetry-only, under the waivers below.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+
+	// start anchors the /metrics uptime and runs/sec rates. Telemetry only:
+	// no run result depends on it.
+	//dpbyz:wallclock
+	start time.Time
+
+	streamsOpen  atomic.Int64
+	streamsTotal atomic.Int64
+}
+
+// NewServer wraps svc in the HTTP API.
+func NewServer(svc *Service) *Server {
+	h := &Server{
+		svc: svc,
+		mux: http.NewServeMux(),
+		// The service's birth time feeds uptime/rate telemetry only.
+		//dpbyz:wallclock
+		start: time.Now(),
+	}
+	h.mux.HandleFunc("POST /runs", h.handleSubmit)
+	h.mux.HandleFunc("GET /runs", h.handleList)
+	h.mux.HandleFunc("GET /runs/{id}", h.handleStatus)
+	h.mux.HandleFunc("GET /runs/{id}/events", h.handleEvents)
+	h.mux.HandleFunc("DELETE /runs/{id}", h.handleCancel)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// httpError maps service errors to statuses and emits a JSON error body.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNoRun):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotRunning):
+		code = http.StatusConflict
+	case errors.Is(err, ErrStopped):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit accepts POST /runs in any of the three submission shapes and
+// answers with the minted run IDs.
+func (h *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 10<<20))
+	if err != nil {
+		httpError(w, fmt.Errorf("fleet: read body: %w", err))
+		return
+	}
+	sub, err := spec.ParseSubmission(body)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ids, err := h.svc.Submit(sub)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	type submitted struct {
+		ID spec.RunID `json:"id"`
+	}
+	resp := struct {
+		Runs []submitted `json:"runs"`
+	}{Runs: make([]submitted, len(ids))}
+	for i, id := range ids {
+		resp.Runs[i] = submitted{ID: id}
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// handleList answers GET /runs with every run's metadata in submission order.
+func (h *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Runs []Meta `json:"runs"`
+	}{Runs: h.svc.List()})
+}
+
+// RunStatus is the GET /runs/{id} response body.
+type RunStatus struct {
+	Meta
+	// CompletedSteps is the number of telemetry events the run has logged —
+	// the stream cursor range is [0, CompletedSteps).
+	CompletedSteps int `json:"completedSteps"`
+	// Params is the latest snapshot's parameter vector, included only when
+	// the request asks (?params=1); for done runs this is the final w_T.
+	Params []float64 `json:"params,omitempty"`
+	// SnapshotStep is the latest snapshot's completed-step position
+	// (present only with ?params=1 and an existing snapshot).
+	SnapshotStep *int `json:"snapshotStep,omitempty"`
+}
+
+// handleStatus answers GET /runs/{id}.
+func (h *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := spec.RunID(r.PathValue("id"))
+	meta, err := h.svc.Meta(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	log, err := h.svc.Events(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	st := RunStatus{Meta: meta, CompletedSteps: log.Len()}
+	if r.URL.Query().Get("params") == "1" {
+		snap, err := h.svc.Snapshot(id)
+		if err != nil {
+			httpError(w, fmt.Errorf("fleet: load snapshot: %w", err))
+			return
+		}
+		if snap != nil {
+			st.Params = snap.Params
+			step := snap.Step
+			st.SnapshotStep = &step
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel answers DELETE /runs/{id}.
+func (h *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := spec.RunID(r.PathValue("id"))
+	if err := h.svc.Cancel(id); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+}
+
+// handleEvents streams GET /runs/{id}/events as ndjson, one event per line,
+// live until the run finishes. The cursor is the number of events the
+// client has already consumed: `?cursor=N` (or the `Last-Event-ID: M`
+// header, meaning "I acked event M", i.e. cursor M+1) resumes the stream at
+// event N — a client that reconnects with its last position sees every
+// event exactly once, because seq numbers are stable across service
+// crashes (see the package's crash-resume contract).
+func (h *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := spec.RunID(r.PathValue("id"))
+	log, err := h.svc.Events(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	cursor := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		acked, err := strconv.Atoi(v)
+		if err != nil || acked < -1 {
+			httpError(w, fmt.Errorf("fleet: bad Last-Event-ID %q", v))
+			return
+		}
+		cursor = acked + 1
+	}
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, fmt.Errorf("fleet: bad cursor %q", v))
+			return
+		}
+		cursor = n
+	}
+	h.streamsOpen.Add(1)
+	h.streamsTotal.Add(1)
+	defer h.streamsOpen.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for {
+		lines, changed, closed := log.Next(cursor)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return // client went away; it reconnects with its cursor
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+			cursor++
+		}
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return // run over, every event delivered
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Metrics is the GET /metrics response body.
+type Metrics struct {
+	Counts
+	// UptimeSeconds is the wall-clock age of this Server.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// RunsPerSec is the sustained completion rate: done runs over uptime.
+	RunsPerSec float64 `json:"runsPerSec"`
+	// StreamsOpen counts event streams currently connected.
+	StreamsOpen int64 `json:"streamsOpen"`
+	// StreamsTotal counts event streams ever opened.
+	StreamsTotal int64 `json:"streamsTotal"`
+}
+
+// handleMetrics answers GET /metrics.
+func (h *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{
+		Counts:       h.svc.Counts(),
+		StreamsOpen:  h.streamsOpen.Load(),
+		StreamsTotal: h.streamsTotal.Load(),
+	}
+	// Uptime and throughput are telemetry: nothing downstream of a run
+	// depends on these reads.
+	//dpbyz:wallclock
+	m.UptimeSeconds = time.Since(h.start).Seconds()
+	if m.UptimeSeconds > 0 {
+		m.RunsPerSec = float64(m.Done) / m.UptimeSeconds
+	}
+	writeJSON(w, http.StatusOK, m)
+}

@@ -1,0 +1,401 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpbyz/internal/spec"
+)
+
+func newTestServer(t *testing.T, width int) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := Open(Config{Root: t.TempDir(), Width: width, CheckpointEvery: 10, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Stop()
+	})
+	return svc, ts
+}
+
+// postSpec submits one bare Spec over HTTP and returns the minted run ID.
+func postSpec(t *testing.T, ts *httptest.Server, sp spec.Spec) spec.RunID {
+	t.Helper()
+	body, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /runs = %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Runs []struct {
+			ID spec.RunID `json:"id"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 {
+		t.Fatalf("POST /runs minted %d ids, want 1", len(out.Runs))
+	}
+	return out.Runs[0].ID
+}
+
+// streamEvents reads the run's ndjson stream from cursor until the server
+// ends it (run terminal), returning the decoded events.
+func streamEvents(t *testing.T, ts *httptest.Server, id spec.RunID, cursor int) []Event {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%s/events?cursor=%d", ts.URL, id, cursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET events = %d: %s", resp.StatusCode, b)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestServerSubmitStatusStream(t *testing.T) {
+	const steps = 60
+	_, ts := newTestServer(t, 1)
+
+	// Reference run for the final params the HTTP surface must report.
+	ref, err := (&spec.LocalBackend{}).Run(context.Background(), fleetSpec(steps, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := postSpec(t, ts, fleetSpec(steps, 5))
+
+	// The live stream carries the full telemetry and ends when the run does.
+	events := streamEvents(t, ts, id, 0)
+	if len(events) != steps {
+		t.Fatalf("stream delivered %d events, want %d", len(events), steps)
+	}
+	for i, ev := range events {
+		if ev.Seq != i || ev.Step != i {
+			t.Fatalf("event %d = seq %d step %d", i, ev.Seq, ev.Step)
+		}
+	}
+
+	// GET /runs lists it; GET /runs/{id}?params=1 reports the final model.
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Runs []Meta `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Runs) != 1 || list.Runs[0].ID != id {
+		t.Fatalf("GET /runs = %+v", list.Runs)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/runs/%s?params=1", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Status != StatusDone {
+		t.Fatalf("status %q (%s), want done", st.Status, st.Error)
+	}
+	if st.CompletedSteps != steps {
+		t.Fatalf("completedSteps = %d, want %d", st.CompletedSteps, steps)
+	}
+	if st.SnapshotStep == nil || *st.SnapshotStep != steps {
+		t.Fatal("final snapshot step missing or short")
+	}
+	if len(st.Params) != len(ref.Params) {
+		t.Fatalf("param dims %d vs %d", len(st.Params), len(ref.Params))
+	}
+	for i := range st.Params {
+		if st.Params[i] != ref.Params[i] {
+			t.Fatalf("param %d = %v over HTTP, want %v", i, st.Params[i], ref.Params[i])
+		}
+	}
+}
+
+// A client that disconnects mid-stream and reconnects with its cursor (or
+// the equivalent Last-Event-ID header) receives every event exactly once.
+func TestServerCursorReconnectExactlyOnce(t *testing.T) {
+	const steps = 2000
+	_, ts := newTestServer(t, 1)
+	id := postSpec(t, ts, fleetSpec(steps, 6))
+
+	// First connection: read a strict prefix, then drop the connection.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/runs/"+string(id)+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(resp.Body)
+	for len(got) < steps/4 && sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	cancel() // simulated client failure: the server sees the socket die
+	resp.Body.Close()
+	if len(got) == 0 || len(got) >= steps {
+		t.Fatalf("first connection read %d events; want a strict prefix", len(got))
+	}
+
+	// Reconnect with the Last-Event-ID of the last acked event.
+	req2, err := http.NewRequest(http.MethodGet, ts.URL+"/runs/"+string(id)+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Last-Event-ID", fmt.Sprint(got[len(got)-1].Seq))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	sc2.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc2.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc2.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if err := sc2.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly once: both halves concatenate to seq 0..steps-1 with no gap
+	// and no duplicate.
+	if len(got) != steps {
+		t.Fatalf("reconnected client saw %d events total, want %d", len(got), steps)
+	}
+	for i, ev := range got {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d (lost or duplicated at the seam)", i, ev.Seq)
+		}
+	}
+}
+
+// 32+ concurrent streams over one run each receive the complete event
+// sequence, and /metrics accounts for them.
+func TestServerManyConcurrentStreams(t *testing.T) {
+	const (
+		steps   = 500
+		streams = 32
+	)
+	_, ts := newTestServer(t, 1)
+	id := postSpec(t, ts, fleetSpec(steps, 7))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for c := 0; c < streams; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/runs/" + string(id) + "/events")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			n := 0
+			for sc.Scan() {
+				var ev Event
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					errs <- fmt.Errorf("stream %d: %v", c, err)
+					return
+				}
+				if ev.Seq != n {
+					errs <- fmt.Errorf("stream %d: event %d has seq %d", c, n, ev.Seq)
+					return
+				}
+				n++
+			}
+			if err := sc.Err(); err != nil {
+				errs <- fmt.Errorf("stream %d: %v", c, err)
+				return
+			}
+			if n != steps {
+				errs <- fmt.Errorf("stream %d delivered %d events, want %d", c, n, steps)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.StreamsTotal < streams {
+		t.Fatalf("metrics counted %d streams, want >= %d", m.StreamsTotal, streams)
+	}
+	if m.Done < 1 {
+		t.Fatalf("metrics runsDone = %d, want >= 1", m.Done)
+	}
+}
+
+func TestServerCancelAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+
+	// Unknown run: 404 on status, events and cancel alike.
+	for _, path := range []string{"/runs/run-00000042", "/runs/run-00000042/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Malformed submission: 400.
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad submission = %d, want 400", resp.StatusCode)
+	}
+
+	// A semantically invalid spec is rejected at the door with 400, and no
+	// run is minted.
+	bad := fleetSpec(10, 1)
+	bad.GAR.F = 5 // trimmedmean needs n > 2f
+	body, err := bad.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec = %d, want 400", resp.StatusCode)
+	}
+
+	// Bad cursor: 400.
+	id := postSpec(t, ts, fleetSpec(100000, 2))
+	resp, err = http.Get(ts.URL + "/runs/" + string(id) + "/events?cursor=zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d, want 400", resp.StatusCode)
+	}
+
+	// DELETE a live run: 202, then the run lands cancelled and its stream
+	// terminates rather than hanging.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+string(id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/runs/" + string(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st RunStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Status == StatusCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in %q after DELETE", st.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The stream of a cancelled run ends (closed log), delivering whatever
+	// prefix was recorded.
+	events := streamEvents(t, ts, id, 0)
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	// A second DELETE on the terminal run conflicts.
+	resp, err = http.DefaultClient.Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second DELETE = %d, want 409", resp.StatusCode)
+	}
+}

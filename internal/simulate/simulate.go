@@ -899,6 +899,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for step := r.start; step < cfg.Steps; step++ {
 		select {
 		case <-ctx.Done():
+			// An interrupted run flushes a final snapshot of its completed
+			// prefix, so a graceful shutdown (SIGINT on a cmd, fleet Stop)
+			// never loses more than zero steps of resumable progress. The
+			// flush is best-effort: the interruption is still the error.
+			// A failed flush wraps the flush error, not the cancellation,
+			// so callers that treat a clean interrupt as success still see
+			// a lost snapshot as the failure it is.
+			if snapshots {
+				if serr := cfg.SnapshotFunc(r.snapshot(step)); serr != nil {
+					return nil, fmt.Errorf("simulate: step %d: %v (final snapshot: %w)", step, ctx.Err(), serr)
+				}
+			}
 			return nil, fmt.Errorf("simulate: step %d: %w", step, ctx.Err())
 		default:
 		}

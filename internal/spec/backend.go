@@ -75,6 +75,7 @@ type runOptions struct {
 	// Checkpointing.
 	checkpointPath  string
 	checkpointEvery int
+	snapshotFunc    func(*checkpoint.RunState) error
 	resume          *checkpoint.RunState
 	resumePath      string
 
@@ -128,6 +129,16 @@ func WithInitParams(w []float64) Option {
 // final step.
 func WithCheckpointFile(path string, every int) Option {
 	return func(o *runOptions) { o.checkpointPath, o.checkpointEvery = path, every }
+}
+
+// WithSnapshotFunc routes the periodic resumable snapshots to save instead
+// of a file, at a cadence of `every` completed steps (plus the final step).
+// The backend stamps Backend and Spec on the state before calling save. The
+// fleet control plane uses this to flush a run's event log to disk before
+// each snapshot lands, so the log is always at least as long as any snapshot
+// a restart can observe.
+func WithSnapshotFunc(save func(*checkpoint.RunState) error, every int) Option {
+	return func(o *runOptions) { o.snapshotFunc, o.checkpointEvery = save, every }
 }
 
 // WithResume continues a run from a snapshot previously written through
@@ -192,6 +203,29 @@ func (o *runOptions) loadResume(s *Spec, backend string) (*checkpoint.RunState, 
 		return nil, err
 	}
 	return st, nil
+}
+
+// snapshotSaver resolves the checkpoint options into one save function that
+// stamps Backend and the canonical Spec document before persisting — nil
+// when checkpointing is off. WithSnapshotFunc wins over WithCheckpointFile.
+func (o *runOptions) snapshotSaver(s *Spec, backend string) (func(*checkpoint.RunState) error, error) {
+	save := o.snapshotFunc
+	if save == nil && o.checkpointPath != "" {
+		path := o.checkpointPath
+		save = func(st *checkpoint.RunState) error { return checkpoint.SaveRunState(path, st) }
+	}
+	if save == nil || o.checkpointEvery <= 0 {
+		return nil, nil
+	}
+	specJSON, err := s.JSON()
+	if err != nil {
+		return nil, err
+	}
+	return func(st *checkpoint.RunState) error {
+		st.Backend = backend
+		st.Spec = specJSON
+		return save(st)
+	}, nil
 }
 
 // stepHook folds the installed observers into a single simulate/cluster

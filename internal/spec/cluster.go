@@ -134,18 +134,13 @@ func attachCheckpointing(s *Spec, o *runOptions, cfg *cluster.ServerConfig, back
 		cfg.InitParams = st.Params
 		cfg.InitVelocity = st.Velocity
 	}
-	if o.checkpointPath != "" && o.checkpointEvery > 0 {
-		specJSON, err := s.JSON()
-		if err != nil {
-			return nil, err
-		}
-		path := o.checkpointPath
+	if save, err := o.snapshotSaver(s, backend); err != nil {
+		return nil, err
+	} else if save != nil {
 		cfg.SnapshotEvery = o.checkpointEvery
 		cfg.SnapshotFunc = func(step int, params, velocity []float64) error {
-			return checkpoint.SaveRunState(path, &checkpoint.RunState{
+			return save(&checkpoint.RunState{
 				Version:  checkpoint.RunStateVersion,
-				Backend:  backend,
-				Spec:     specJSON,
 				Step:     step,
 				Params:   append([]float64(nil), params...),
 				Velocity: append([]float64(nil), velocity...),

@@ -3,7 +3,6 @@ package spec
 import (
 	"context"
 
-	"dpbyz/internal/checkpoint"
 	"dpbyz/internal/simulate"
 )
 
@@ -82,18 +81,11 @@ func (b *LocalBackend) Run(ctx context.Context, s Spec, opts ...Option) (*Result
 	if cfg.Resume, err = o.loadResume(&s, b.Name()); err != nil {
 		return nil, err
 	}
-	if o.checkpointPath != "" && o.checkpointEvery > 0 {
-		specJSON, err := s.JSON()
-		if err != nil {
-			return nil, err
-		}
-		path := o.checkpointPath
+	if save, err := o.snapshotSaver(&s, b.Name()); err != nil {
+		return nil, err
+	} else if save != nil {
 		cfg.SnapshotEvery = o.checkpointEvery
-		cfg.SnapshotFunc = func(st *checkpoint.RunState) error {
-			st.Backend = b.Name()
-			st.Spec = specJSON
-			return checkpoint.SaveRunState(path, st)
-		}
+		cfg.SnapshotFunc = save
 	}
 	res, err := simulate.Run(ctx, cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -60,14 +61,22 @@ func (s *HistorySink) History() *metrics.History { return s.h }
 // JSONLSink writes one JSON object per step to an io.Writer — a streaming
 // metrics log that external tooling can tail while the run is live.
 // Unmeasured metrics (NaN) are omitted rather than emitted as invalid JSON.
+//
+// The sink buffers: lines reach the underlying writer in batches, so the
+// per-step cost is a memory copy, not a write syscall. Callers MUST Close
+// (or Flush) the sink when the run ends — an unflushed buffer is exactly
+// how a final JSONL line ends up truncated.
 type JSONLSink struct {
 	mu  sync.Mutex
+	buf *bufio.Writer
 	enc *json.Encoder
 }
 
-// NewJSONLSink returns a sink writing JSON lines to w.
+// NewJSONLSink returns a sink writing buffered JSON lines to w. Close it
+// to flush the final lines.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	buf := bufio.NewWriter(w)
+	return &JSONLSink{buf: buf, enc: json.NewEncoder(buf)}
 }
 
 // jsonlRecord is the wire form of one step. Pointer fields drop NaN metrics
@@ -92,6 +101,17 @@ func (s *JSONLSink) OnStep(ev StepEvent) error {
 	defer s.mu.Unlock()
 	return s.enc.Encode(rec)
 }
+
+// Flush pushes every buffered line to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Flush()
+}
+
+// Close implements io.Closer: it flushes the buffer. The underlying writer
+// is the caller's to close — a sink over os.Stdout must not close it.
+func (s *JSONLSink) Close() error { return s.Flush() }
 
 // ProgressSink prints a one-line progress report every k steps (and for
 // step 0), for interactive CLI runs.

@@ -66,9 +66,16 @@ func (f observerFunc) OnStep(ev StepEvent) error { return f(ev) }
 // metrics instead of writing NaN.
 func TestJSONLSink(t *testing.T) {
 	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
 	_, err := (&LocalBackend{}).Run(context.Background(), observerSpec(12),
-		WithObserver(NewJSONLSink(&buf)))
+		WithObserver(sink))
 	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink buffers: before Close only a prefix (possibly nothing) has
+	// reached the writer; Close flushes the rest, and every line must be
+	// complete — a truncated final line is the bug Close exists to prevent.
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	lines := 0

@@ -1,0 +1,149 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// SubmissionVersion is the fleet submission-envelope schema version; bump on
+// breaking change.
+const SubmissionVersion = 1
+
+// RunID identifies one fleet-managed run. An ID names the run's directory in
+// the fleet store and appears in every /runs URL, so the alphabet is
+// restricted to lowercase letters, digits and dashes.
+type RunID string
+
+// FormatRunID renders the fleet's sequential run IDs: zero-padded so the
+// store's directory listing sorts in submission order.
+func FormatRunID(seq uint64) RunID {
+	return RunID(fmt.Sprintf("run-%08d", seq))
+}
+
+// Validate rejects IDs that could escape the store directory or break URLs.
+func (id RunID) Validate() error {
+	if id == "" {
+		return errors.New("spec: empty run id")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+		case r == '-':
+		default:
+			return fmt.Errorf("spec: run id %q contains %q (allowed: a-z, 0-9, dash)", id, r)
+		}
+	}
+	return nil
+}
+
+// Submission is the fleet control plane's POST /runs envelope: one or more
+// Specs — a batch sweep submits its CellSpecs as one array — plus the
+// scheduling directives that are the service's business rather than the
+// run's (and therefore do not belong on Spec).
+type Submission struct {
+	// SchemaVersion is the envelope schema version. Zero means "current";
+	// any other value must equal SubmissionVersion.
+	SchemaVersion int `json:"version,omitempty"`
+	// Backend selects where every run of the batch executes: "local" (the
+	// default, the in-process simulator) or "cluster" (an in-process
+	// distributed cluster over a ChanTransport).
+	Backend string `json:"backend,omitempty"`
+	// Priority orders this batch against other submissions: among queued
+	// runs, higher priorities start first; ties start in submission order.
+	Priority int `json:"priority,omitempty"`
+	// CheckpointEvery overrides the service's snapshot cadence in steps for
+	// this batch (0 keeps the service default).
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// Runs holds the batch's run specs, scheduled independently.
+	Runs []Spec `json:"runs"`
+}
+
+// Submission validation errors, matchable with errors.Is.
+var (
+	ErrBadSubmissionVersion = errors.New("spec: unsupported submission version")
+	ErrEmptySubmission      = errors.New("spec: submission carries no runs")
+)
+
+// UnmarshalJSON decodes strictly, mirroring Spec: unknown envelope fields
+// fail loudly.
+func (sub *Submission) UnmarshalJSON(b []byte) error {
+	type plain Submission // drop methods to avoid recursing into this decoder
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var p plain
+	if err := dec.Decode(&p); err != nil {
+		if bytes.Contains([]byte(err.Error()), []byte("unknown field")) {
+			return fmt.Errorf("%w: %v", ErrUnknownField, err)
+		}
+		return err
+	}
+	*sub = Submission(p)
+	return nil
+}
+
+// Validate checks the envelope and every run spec in it.
+func (sub *Submission) Validate() error {
+	if sub.SchemaVersion != 0 && sub.SchemaVersion != SubmissionVersion {
+		return fmt.Errorf("%w: %d (want %d)", ErrBadSubmissionVersion, sub.SchemaVersion, SubmissionVersion)
+	}
+	switch sub.Backend {
+	case "", "local", "cluster":
+	default:
+		return fmt.Errorf("spec: unknown submission backend %q (local|cluster)", sub.Backend)
+	}
+	if sub.CheckpointEvery < 0 {
+		return fmt.Errorf("spec: negative submission checkpointEvery %d", sub.CheckpointEvery)
+	}
+	if len(sub.Runs) == 0 {
+		return ErrEmptySubmission
+	}
+	for i := range sub.Runs {
+		if err := sub.Runs[i].Validate(); err != nil {
+			return fmt.Errorf("spec: submission run %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ParseSubmission decodes a POST /runs body in any of its three accepted
+// shapes — a Submission envelope, a bare Spec object (one run with default
+// scheduling), or a bare array of Specs (a batch sweep of CellSpecs) — and
+// validates every run. All three shapes decode strictly.
+func ParseSubmission(b []byte) (*Submission, error) {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var runs []Spec
+		if err := json.Unmarshal(b, &runs); err != nil {
+			return nil, err
+		}
+		sub := &Submission{Runs: runs}
+		if err := sub.Validate(); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	var sub Submission
+	envErr := json.Unmarshal(b, &sub)
+	if envErr == nil && len(sub.Runs) > 0 {
+		if err := sub.Validate(); err != nil {
+			return nil, err
+		}
+		return &sub, nil
+	}
+	// Not an envelope (a bare Spec trips the strict decoder's unknown-field
+	// check, or decodes to an empty Runs list): try the single-Spec shape.
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		if envErr != nil {
+			return nil, fmt.Errorf("spec: body is neither a submission envelope (%v) nor a run spec (%v)", envErr, err)
+		}
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Submission{Runs: []Spec{s}}, nil
+}

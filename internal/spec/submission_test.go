@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+func submissionSpecJSON() string {
+	return `{
+		"data": {"n": 600, "features": 10},
+		"gar": {"name": "trimmedmean", "n": 7, "f": 2},
+		"steps": 30, "batchSize": 20, "learningRate": 2, "seed": 1
+	}`
+}
+
+func TestParseSubmissionShapes(t *testing.T) {
+	one := submissionSpecJSON()
+
+	t.Run("bare spec", func(t *testing.T) {
+		sub, err := ParseSubmission([]byte(one))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub.Runs) != 1 || sub.Backend != "" || sub.Priority != 0 {
+			t.Fatalf("bare spec parsed as %+v", sub)
+		}
+	})
+
+	t.Run("array of specs", func(t *testing.T) {
+		sub, err := ParseSubmission([]byte("[" + one + "," + one + "]"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub.Runs) != 2 {
+			t.Fatalf("array parsed to %d runs", len(sub.Runs))
+		}
+	})
+
+	t.Run("envelope", func(t *testing.T) {
+		sub, err := ParseSubmission([]byte(
+			`{"backend": "cluster", "priority": 3, "checkpointEvery": 10, "runs": [` + one + `]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Backend != "cluster" || sub.Priority != 3 || sub.CheckpointEvery != 10 || len(sub.Runs) != 1 {
+			t.Fatalf("envelope parsed as %+v", sub)
+		}
+	})
+}
+
+func TestParseSubmissionRejections(t *testing.T) {
+	one := submissionSpecJSON()
+	cases := map[string]string{
+		"empty envelope":       `{"backend": "local", "runs": []}`,
+		"unknown backend":      `{"backend": "marsrover", "runs": [` + one + `]}`,
+		"negative cadence":     `{"checkpointEvery": -1, "runs": [` + one + `]}`,
+		"typo'd field":         `{"priorty": 3, "runs": [` + one + `]}`,
+		"invalid run in batch": `[{"gar": {"name": "trimmedmean", "n": 7, "f": 2}, "steps": 0, "batchSize": 20, "learningRate": 2}]`,
+		"not json":             `let's train a model`,
+	}
+	for name, body := range cases {
+		if _, err := ParseSubmission([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	var sub Submission
+	sub.SchemaVersion = 99
+	sub.Runs = []Spec{{}}
+	if err := sub.Validate(); !errors.Is(err, ErrBadSubmissionVersion) {
+		t.Errorf("version error not matchable: %v", err)
+	}
+}
+
+func TestRunIDValidate(t *testing.T) {
+	if err := FormatRunID(42).Validate(); err != nil {
+		t.Fatalf("formatted id rejected: %v", err)
+	}
+	if FormatRunID(42) != "run-00000042" {
+		t.Fatalf("FormatRunID(42) = %q", FormatRunID(42))
+	}
+	for _, bad := range []RunID{"", "RUN-1", "a/b", "a..b", "id with space"} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("run id %q accepted", bad)
+		}
+	}
+}

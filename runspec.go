@@ -81,6 +81,13 @@ type (
 	// WithResume).
 	RunState = checkpoint.RunState
 
+	// RunID names one run inside a fleet store ("run-%08d"; lexical order is
+	// submission order).
+	RunID = spec.RunID
+	// Submission is the fleet submission envelope: a batch of Specs plus
+	// scheduling knobs (backend, priority, checkpoint cadence).
+	Submission = spec.Submission
+
 	// Transport is the cluster communication substrate (see NewChanTransport
 	// and TCPTransport).
 	Transport = cluster.Transport
@@ -102,6 +109,12 @@ var (
 	ParseSpec = spec.Parse
 	// LoadSpec reads and validates a Spec from a JSON file.
 	LoadSpec = spec.Load
+	// ParseSubmission decodes a fleet submission from any of its three
+	// accepted shapes: a bare Spec, an array of Specs, or a Submission
+	// envelope.
+	ParseSubmission = spec.ParseSubmission
+	// FormatRunID renders a submission sequence number as a RunID.
+	FormatRunID = spec.FormatRunID
 
 	// LoadRunState reads a resumable snapshot written via WithCheckpointFile.
 	LoadRunState = checkpoint.LoadRunState
