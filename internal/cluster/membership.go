@@ -487,6 +487,12 @@ func (s *Server) runMembership(ctx context.Context) (*ServerResult, error) {
 			}
 		}
 
+		// Stateful kernels observe the round counter (see gar.RoundAware);
+		// the epoch boundary already re-materializes a fresh rule, so only
+		// intra-epoch jumps need the signal.
+		if ra, ok := epochGAR.(gar.RoundAware); ok {
+			ra.BeginRound(step)
+		}
 		if err := gar.AggregateInto(epochGAR, agg, submissions); err != nil {
 			finish(w)
 			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)

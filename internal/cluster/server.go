@@ -469,6 +469,11 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			}
 		}
 
+		// Stateful kernels observe the round counter (see gar.RoundAware):
+		// a round jump after a resume re-anchors their cross-round state.
+		if ra, ok := s.cfg.GAR.(gar.RoundAware); ok {
+			ra.BeginRound(step)
+		}
 		if err := gar.AggregateInto(s.cfg.GAR, agg, submissions); err != nil {
 			finish(w)
 			return nil, fmt.Errorf("cluster: round %d aggregate: %w", step, err)

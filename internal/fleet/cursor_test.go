@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestEventStreamCursorValidation is the table-driven gate on the stream's
+// resume inputs: every non-numeric, negative or overflowing ?cursor or
+// Last-Event-ID must be rejected with 400 before the stream opens — a
+// silently misparsed cursor would replay or skip events, breaking the
+// exactly-once reconnect contract. The present-but-empty "?cursor=" case is
+// the regression pin: url.Values.Get returns "" for both an absent and an
+// empty parameter, and the empty form used to fall through as cursor 0.
+func TestEventStreamCursorValidation(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	id := postSpec(t, ts, fleetSpec(100000, 2))
+
+	cases := []struct {
+		name   string
+		query  string
+		header string // Last-Event-ID, "" = unset
+		want   int
+	}{
+		{name: "no cursor", want: http.StatusOK},
+		{name: "cursor 0", query: "?cursor=0", want: http.StatusOK},
+		{name: "cursor positive", query: "?cursor=3", want: http.StatusOK},
+		{name: "cursor non-numeric", query: "?cursor=zebra", want: http.StatusBadRequest},
+		{name: "cursor negative", query: "?cursor=-1", want: http.StatusBadRequest},
+		{name: "cursor overflow", query: "?cursor=99999999999999999999", want: http.StatusBadRequest},
+		{name: "cursor present but empty", query: "?cursor=", want: http.StatusBadRequest},
+		{name: "cursor float", query: "?cursor=1.5", want: http.StatusBadRequest},
+		{name: "last-event-id -1 means start", header: "-1", want: http.StatusOK},
+		{name: "last-event-id numeric", header: "4", want: http.StatusOK},
+		{name: "last-event-id non-numeric", header: "abc", want: http.StatusBadRequest},
+		{name: "last-event-id below -1", header: "-2", want: http.StatusBadRequest},
+		{name: "last-event-id overflow", header: "99999999999999999999", want: http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/runs/"+string(id)+"/events"+tc.query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.header != "" {
+			req.Header.Set("Last-Event-ID", tc.header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -196,7 +196,14 @@ func (h *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		cursor = acked + 1
 	}
-	if v := r.URL.Query().Get("cursor"); v != "" {
+	// Look the parameter up by presence, not by Get: Get returns "" for an
+	// absent AND a present-but-empty "?cursor=", and the empty form must be
+	// a 400, not a silent replay from 0.
+	if vs, ok := r.URL.Query()["cursor"]; ok {
+		var v string
+		if len(vs) > 0 {
+			v = vs[0]
+		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			httpError(w, fmt.Errorf("fleet: bad cursor %q", v))

@@ -233,7 +233,10 @@ func TestMDAExactMatchesBruteForceDiameter(t *testing.T) {
 		t.Fatal(err)
 	}
 	grads := cloudWithOutliers(n, f, dim, 1, 0.3, 20, 11)
-	dists := vecmath.PairwiseSqDists(grads)
+	dists, err := vecmath.PairwiseSqDists(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
 	exact := minDiameterExact(dists, n, n-f, getScratch())
 	if len(exact) != n-f {
 		t.Fatalf("exact subset size = %d", len(exact))

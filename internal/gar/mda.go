@@ -99,7 +99,9 @@ func (m *MDA) aggregateInto(dst []float64, grads [][]float64, forceGreedy bool) 
 	s := getScratch()
 	defer putScratch(s)
 	gram := s.square(m.n)
-	vecmath.PairwiseSqDistsInto(gram, grads)
+	// Inputs are pre-validated by checkAggInto and the gram view is sized
+	// n×n by construction, so the kernel's dimension errors cannot fire.
+	_ = vecmath.PairwiseSqDistsInto(gram, grads)
 	k := m.n - m.f
 	var subset []int
 	if !forceGreedy && binomialAtMost(m.n, k, m.MaxEnumerate) {

@@ -11,15 +11,23 @@ import "sync"
 //
 //dpbyz:scratch
 type scratch struct {
-	vecA, vecB []float64 // gradient-sized (d) iterates and accumulators
-	scores     []float64 // per-worker (n) scores / distances
-	row        []float64 // Krum neighbour-distance row (n-1)
-	gramFlat   []float64 // backing store of the Gram matrix (n·n)
-	gram       [][]float64
-	intA, intB []int       // subset-search index workspaces
-	scored     []phocasVal // Phocas per-coordinate selection column
-	selA, selB [][]float64 // gradient selections (headers only, no copies)
-	bucketFlat []float64   // Bucketed pre-aggregation means (m·d, selA holds the row headers)
+	vecA, vecB       []float64 // gradient-sized (d) iterates and accumulators
+	scores           []float64 // per-worker (n) scores / distances
+	scoresB          []float64 // second score column (sketched lower bounds / sketch scores)
+	scoresC          []float64 // third score column (sketched upper bounds)
+	row              []float64 // Krum neighbour-distance row (n-1)
+	gramFlat         []float64 // backing store of the Gram matrix (n·n)
+	gram             [][]float64
+	gram2Flat        []float64 // second n×n matrix (sketched exact-pair cache)
+	gram2            [][]float64
+	intA, intB, intC []int       // subset-search index workspaces
+	scored           []phocasVal // Phocas per-coordinate selection column
+	selA, selB       [][]float64 // gradient selections (headers only, no copies)
+	bucketFlat       []float64   // Bucketed pre-aggregation means (m·d, selA holds the row headers)
+	skFlat           []float64   // sketch projections (n·k, skRows holds the row headers)
+	skRows           [][]float64
+	sk32Flat         []float32 // float32 sketch lanes (n·k, sk32Rows holds the row headers)
+	sk32Rows         [][]float32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -51,6 +59,43 @@ func (s *scratch) square(n int) [][]float64 {
 	rows := grow(&s.gram, n)
 	for i := range rows {
 		rows[i] = flat[i*n : (i+1)*n]
+	}
+	return rows
+}
+
+// square2 returns a second, independent n×n matrix view; the sketched
+// kernels hold the sketch Gram in square and the exact-pair cache here.
+//
+//dpbyz:scratch
+func (s *scratch) square2(n int) [][]float64 {
+	flat := grow(&s.gram2Flat, n*n)
+	rows := grow(&s.gram2, n)
+	for i := range rows {
+		rows[i] = flat[i*n : (i+1)*n]
+	}
+	return rows
+}
+
+// sketchRows returns an n×k matrix view for sketch projections.
+//
+//dpbyz:scratch
+func (s *scratch) sketchRows(n, k int) [][]float64 {
+	flat := grow(&s.skFlat, n*k)
+	rows := grow(&s.skRows, n)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k]
+	}
+	return rows
+}
+
+// sketchRows32 returns an n×k float32-lane matrix view.
+//
+//dpbyz:scratch
+func (s *scratch) sketchRows32(n, k int) [][]float32 {
+	flat := grow(&s.sk32Flat, n*k)
+	rows := grow(&s.sk32Rows, n)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k]
 	}
 	return rows
 }

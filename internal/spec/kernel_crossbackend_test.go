@@ -1,0 +1,78 @@
+package spec
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// kernelScenario is the chaos-cohort scenario re-pointed at a Krum-family
+// rule so the kernel knob actually engages (trimmed mean has no pairwise
+// kernel to sketch). n = 13 keeps the JL shortlist (9 candidates) strictly
+// smaller than the cohort, so the sketched path really filters.
+func kernelScenario(kernel string) Spec {
+	s := scenario()
+	s.Name = "kernel-" + kernel
+	s.GAR = GARSpec{Name: "krum", N: 13, F: 2, Kernel: kernel}
+	return s
+}
+
+// TestKernelIncrementalBitIdenticalAcrossBackends pins the kernel knob's
+// central contract end to end: a run with kernel "incremental" — bounds,
+// shortlists, drift refreshes and all — produces the bit-identical training
+// trajectory of the exact kernel, on the in-process simulator and on a
+// cluster over a ChanTransport.
+func TestKernelIncrementalBitIdenticalAcrossBackends(t *testing.T) {
+	ctx := context.Background()
+
+	exact, err := (&LocalBackend{}).Run(ctx, kernelScenario("exact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := (&LocalBackend{}).Run(ctx, kernelScenario("incremental"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Params) != len(inc.Params) {
+		t.Fatalf("param lengths differ: %d vs %d", len(exact.Params), len(inc.Params))
+	}
+	for j := range exact.Params {
+		if exact.Params[j] != inc.Params[j] {
+			t.Fatalf("local: incremental kernel diverged from exact at parameter %d: %v != %v",
+				j, inc.Params[j], exact.Params[j])
+		}
+	}
+	for i := 0; i < exact.History.Len(); i++ {
+		if exact.History.Record(i).Loss != inc.History.Record(i).Loss {
+			t.Fatalf("local: loss trajectory diverged at step %d", i)
+		}
+	}
+
+	exactDist, err := (&ClusterBackend{}).Run(ctx, kernelScenario("exact"),
+		WithRoundTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incDist, err := (&ClusterBackend{}).Run(ctx, kernelScenario("incremental"),
+		WithRoundTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range exactDist.Params {
+		if exactDist.Params[j] != incDist.Params[j] {
+			t.Fatalf("cluster: incremental kernel diverged from exact at parameter %d: %v != %v",
+				j, incDist.Params[j], exactDist.Params[j])
+		}
+	}
+}
+
+// TestKernelSketchedTrains covers the JL mode end to end: the sketched
+// kernel is approximate by design (no bit-identity claim under an adaptive
+// attack), but the run must stay finite and actually learn the task.
+func TestKernelSketchedTrains(t *testing.T) {
+	res, err := (&LocalBackend{}).Run(context.Background(), kernelScenario("sketched"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConverged(t, "sketched", res, 0.2, 0.24)
+}

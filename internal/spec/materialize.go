@@ -181,6 +181,12 @@ func (s *Spec) materialize(o *runOptions) (*materialized, error) {
 		// processes.
 		m.gar, err = gar.NewBucketed(s.GAR.Name, s.GAR.N, s.GAR.F,
 			s.Topology.BucketSize, s.Topology.seed(s.Seed))
+	} else if s.GAR.kernel() != "exact" {
+		// The kernel knob composes here for the same reason the topology
+		// does: every backend materializes the identical wrapper, so the
+		// sketch transform (a pure function of the sketch seed) and the
+		// incremental mode's exact selections agree across processes.
+		m.gar, err = gar.NewSketched(s.GAR.Name, s.GAR.N, s.GAR.F, s.GAR.sketchOptions(s.Seed))
 	} else {
 		m.gar, err = gar.New(s.GAR.Name, s.GAR.N, s.GAR.F)
 	}

@@ -169,6 +169,41 @@ type GARSpec struct {
 	N int `json:"n"`
 	// F is the number of Byzantine workers the rule must tolerate.
 	F int `json:"f"`
+	// Kernel selects the Krum-family kernel implementation: "exact" (the
+	// default) runs the full pairwise pass; "sketched" shortlists
+	// candidates from JL sketch distances and re-checks them exactly;
+	// "incremental" maintains drift-bounded distance bounds across rounds
+	// and is provably bit-identical to "exact". Non-exact kernels require
+	// a rule gar.SketchSupported reports true for, and do not compose
+	// with the bucketed topology (buckets are already few).
+	Kernel string `json:"kernel,omitempty"`
+	// SketchDim is the JL sketch dimension (0 selects
+	// gar.DefaultSketchDim); only valid with kernel "sketched".
+	SketchDim int `json:"sketchDim,omitempty"`
+	// SketchSeed fixes the deterministic sketch transform (0 means the
+	// run seed); only valid with kernel "sketched".
+	SketchSeed uint64 `json:"sketchSeed,omitempty"`
+}
+
+// kernel returns the kernel implementation name, defaulting to "exact".
+func (g *GARSpec) kernel() string {
+	if g.Kernel == "" {
+		return "exact"
+	}
+	return g.Kernel
+}
+
+// sketchOptions builds the gar.SketchOptions the kernel knob selects.
+func (g *GARSpec) sketchOptions(runSeed uint64) gar.SketchOptions {
+	seed := g.SketchSeed
+	if seed == 0 {
+		seed = runSeed
+	}
+	return gar.SketchOptions{
+		SketchDim:   g.SketchDim,
+		Seed:        seed,
+		Incremental: g.kernel() == "incremental",
+	}
 }
 
 // TopologySpec selects the aggregation topology.
@@ -388,6 +423,12 @@ func (s *Spec) NewGARFactory() func(n, f int) (gar.GAR, error) {
 			return gar.NewBucketed(name, n, f, size, seed)
 		}
 	}
+	if s.GAR.kernel() != "exact" {
+		opt := s.GAR.sketchOptions(s.Seed)
+		return func(n, f int) (gar.GAR, error) {
+			return gar.NewSketched(name, n, f, opt)
+		}
+	}
 	return func(n, f int) (gar.GAR, error) {
 		return gar.New(name, n, f)
 	}
@@ -421,8 +462,30 @@ func (s *Spec) Validate() error {
 	if s.GAR.Name == "" {
 		return errors.New("spec: missing gar.name")
 	}
-	if _, err := gar.New(s.GAR.Name, s.GAR.N, s.GAR.F); err != nil {
-		return err
+	switch k := s.GAR.kernel(); k {
+	case "exact":
+		if s.GAR.SketchDim != 0 || s.GAR.SketchSeed != 0 {
+			return fmt.Errorf("spec: gar.sketchDim/sketchSeed need kernel \"sketched\", not %q", k)
+		}
+		if _, err := gar.New(s.GAR.Name, s.GAR.N, s.GAR.F); err != nil {
+			return err
+		}
+	case "sketched", "incremental":
+		if s.Topology.name() == "bucketed" {
+			return fmt.Errorf("spec: gar kernel %q does not compose with the bucketed topology "+
+				"(buckets are already few; sketch the flat rule instead)", k)
+		}
+		if k == "incremental" && (s.GAR.SketchDim != 0 || s.GAR.SketchSeed != 0) {
+			return fmt.Errorf("spec: gar.sketchDim/sketchSeed need kernel \"sketched\" " +
+				"(the incremental kernel has no sketch pass)")
+		}
+		// Constructing the wrapper validates the inner rule's own n-vs-f
+		// constraint and its kernel support.
+		if _, err := gar.NewSketched(s.GAR.Name, s.GAR.N, s.GAR.F, s.GAR.sketchOptions(s.Seed)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("spec: unknown gar kernel %q", k)
 	}
 	switch name := s.Topology.name(); name {
 	case "flat":

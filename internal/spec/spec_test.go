@@ -16,7 +16,7 @@ func fullSpec() Spec {
 		Data:              DataSpec{Source: "synthetic-phishing", N: 600, Features: 10, Seed: 7, TrainN: 450},
 		Partition:         &PartitionSpec{Name: "dirichlet", Beta: 0.3, Seed: 11},
 		Model:             ModelSpec{Name: "mlp", Hidden: 8},
-		GAR:               GARSpec{Name: "trimmedmean", N: 11, F: 2},
+		GAR:               GARSpec{Name: "trimmedmean", N: 11, F: 2, Kernel: "exact"},
 		Topology:          &TopologySpec{Name: "bucketed", BucketSize: 2, Seed: 13},
 		Staleness:         &StalenessSpec{Stragglers: 2, Late: "discard"},
 		Membership:        &MembershipSpec{MinWorkers: 9, MaxWorkers: 12, FRatio: 0.2, EpochRounds: 10},
@@ -130,6 +130,30 @@ func TestSpecValidate(t *testing.T) {
 		"zero lr":            func(s *Spec) { s.LearningRate = 0 },
 		"both momenta":       func(s *Spec) { s.Momentum = 0.5 },
 		"mech without clip":  func(s *Spec) { s.ClipNorm = 0 },
+		"unknown kernel":     func(s *Spec) { s.Topology = nil; s.GAR = GARSpec{Name: "krum", N: 11, F: 2, Kernel: "fast"} }, //dpbyz:unregistered
+		"kernel unsupported rule": func(s *Spec) {
+			s.Topology = nil
+			s.GAR = GARSpec{Name: "trimmedmean", N: 11, F: 2, Kernel: "sketched"}
+		},
+		"incremental mda": func(s *Spec) {
+			s.Topology = nil
+			s.GAR = GARSpec{Name: "mda", N: 11, F: 2, Kernel: "incremental"}
+		},
+		"kernel with bucketed topology": func(s *Spec) {
+			s.GAR = GARSpec{Name: "krum", N: 11, F: 2, Kernel: "sketched"}
+		},
+		"sketchDim without sketched": func(s *Spec) {
+			s.Topology = nil
+			s.GAR = GARSpec{Name: "krum", N: 11, F: 2, SketchDim: 16}
+		},
+		"sketchSeed with incremental": func(s *Spec) {
+			s.Topology = nil
+			s.GAR = GARSpec{Name: "krum", N: 11, F: 2, Kernel: "incremental", SketchSeed: 5}
+		},
+		"negative sketchDim": func(s *Spec) {
+			s.Topology = nil
+			s.GAR = GARSpec{Name: "krum", N: 11, F: 2, Kernel: "sketched", SketchDim: -1}
+		},
 	} {
 		s := fullSpec()
 		mutate(&s)

@@ -1,0 +1,183 @@
+package vecmath
+
+import "math"
+
+// IncGram maintains squared-distance information across training rounds for
+// the incremental Krum-family kernels. Momentum keeps successive submissions
+// close, so instead of recomputing the full Θ(n²·d) pairwise Gram every
+// round, the state anchors an exact Gram at a reference round and, each
+// following round, measures only each worker's drift from its reference
+// vector — Θ(n·d) — to produce sound per-pair squared-distance bounds.
+//
+// Note on the naive alternative: expanding ‖(rᵢ+δᵢ)−(rⱼ+δⱼ)‖² against cached
+// norms and dot terms is exact, but the cross terms ⟨δᵢ, rⱼ⟩ touch every
+// (i, j) pair and cost Θ(n²·d) again whenever every worker moves — which in
+// SGD is every round. Bounds sidestep that: by the triangle inequality the
+// true distance lies in [D₀(i,j) − δᵢ − δⱼ, D₀(i,j) + δᵢ + δⱼ] where D₀ is
+// the reference distance and δᵢ = ‖vᵢ − refᵢ‖, so a consumer can shortlist
+// candidates from the bounds and pay the exact Θ(d) re-check only for the
+// shortlist. The consumer decides when accumulated drift makes the bounds
+// too loose and calls Refresh — the full-recompute escape hatch that also
+// restores bit-identical behaviour by construction (selection from exact
+// re-checked distances; see gar.Sketched).
+//
+// IncGram is persistent per-rule state, not pooled scratch: nothing it
+// returns aliases memory that is recycled under the caller.
+type IncGram struct {
+	n, d int
+	// refFlat/refs hold copies of the reference submissions.
+	refFlat []float64
+	refs    [][]float64
+	// distFlat/dist hold the exact pairwise Euclidean (not squared)
+	// distances among the references; Euclidean form because the triangle
+	// inequality composes additively there.
+	distFlat []float64
+	dist     [][]float64
+	// drift[i] = ‖vᵢ − refᵢ‖ as of the last Advance.
+	drift []float64
+	// scale is the mean off-diagonal reference distance — the natural yard-
+	// stick consumers compare drift against when deciding to Refresh.
+	scale     float64
+	rounds    int // rounds since the last Refresh
+	refreshes int // total Refresh calls (observability for the drift tests)
+}
+
+// NewIncGram returns an empty incremental-Gram state; the first Advance on
+// any shape reports not-ready and the consumer must Refresh.
+func NewIncGram() *IncGram { return &IncGram{} }
+
+// Ready reports whether the state holds a reference Gram for an n×d cohort.
+func (g *IncGram) Ready(n, d int) bool {
+	return g.n == n && g.d == d && len(g.refs) == n
+}
+
+// Rounds returns the number of Advance calls since the last Refresh.
+func (g *IncGram) Rounds() int { return g.rounds }
+
+// Refreshes returns the number of full recomputes performed so far.
+func (g *IncGram) Refreshes() int { return g.refreshes }
+
+// Scale returns the mean off-diagonal reference distance (0 before the
+// first Refresh and for n < 2).
+func (g *IncGram) Scale() float64 { return g.scale }
+
+// MaxDrift returns the largest per-worker drift from the reference as of the
+// last Advance.
+func (g *IncGram) MaxDrift() float64 {
+	var m float64
+	for _, x := range g.drift {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Reset discards all state; the next Advance reports not-ready. Capacity is
+// kept, so a Refresh at the same shape does not reallocate.
+func (g *IncGram) Reset() {
+	g.n, g.d = 0, 0
+	g.refs = g.refs[:0]
+	g.rounds = 0
+	g.scale = 0
+}
+
+// Refresh recomputes the exact reference Gram from vs and copies vs as the
+// new reference vectors. It allocates only when the (n, d) shape grows.
+func (g *IncGram) Refresh(vs [][]float64) error {
+	if len(vs) == 0 {
+		return errEmptyInput
+	}
+	d, err := checkRect(vs)
+	if err != nil {
+		return err
+	}
+	n := len(vs)
+	g.n, g.d = n, d
+	growInto(&g.refFlat, n*d)
+	growRows(&g.refs, &g.refFlat, n, d)
+	for i, v := range vs {
+		copy(g.refs[i], v)
+	}
+	growInto(&g.distFlat, n*n)
+	growRows(&g.dist, &g.distFlat, n, n)
+	if err := PairwiseSqDistsInto(g.dist, vs); err != nil {
+		return err
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.dist[i][j] = math.Sqrt(g.dist[i][j])
+			if i != j {
+				sum += g.dist[i][j]
+			}
+		}
+	}
+	if n > 1 {
+		g.scale = sum / float64(n*(n-1))
+	} else {
+		g.scale = 0
+	}
+	growInto(&g.drift, n)
+	for i := range g.drift {
+		g.drift[i] = 0
+	}
+	g.rounds = 0
+	g.refreshes++
+	return nil
+}
+
+// Advance measures each row's drift ‖vsᵢ − refᵢ‖ against the reference and
+// advances the round counter. It returns false (leaving the state untouched)
+// when no reference of matching shape exists — the caller must Refresh.
+//
+//dpbyz:hotpath
+func (g *IncGram) Advance(vs [][]float64) bool {
+	if len(vs) != g.n || len(g.refs) != g.n {
+		return false
+	}
+	for i, v := range vs {
+		if len(v) != g.d {
+			return false
+		}
+		g.drift[i] = Dist(v, g.refs[i])
+	}
+	g.rounds++
+	return true
+}
+
+// BoundSq returns sound lower and upper bounds on the current squared
+// distance ‖vᵢ − vⱼ‖², from the reference distance and the two rows' drifts
+// via the triangle inequality.
+//
+//dpbyz:hotpath
+func (g *IncGram) BoundSq(i, j int) (lo, hi float64) {
+	d0 := g.dist[i][j]
+	spread := g.drift[i] + g.drift[j]
+	l := d0 - spread
+	if l < 0 {
+		l = 0
+	}
+	h := d0 + spread
+	return l * l, h * h
+}
+
+// growInto is grow() for plain float64 buffers without the generic pool
+// helper: resize to n, reallocating only on capacity growth.
+func growInto(buf *[]float64, n int) {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+}
+
+// growRows points rows at n stride-d windows of flat.
+func growRows(rows *[][]float64, flat *[]float64, n, d int) {
+	if cap(*rows) < n {
+		*rows = make([][]float64, n)
+	}
+	*rows = (*rows)[:n]
+	for i := range *rows {
+		(*rows)[i] = (*flat)[i*d : (i+1)*d]
+	}
+}

@@ -205,11 +205,27 @@ func checkDst(dst []float64, vs [][]float64) (int, error) {
 // allocating. Rows are distributed across workers in strides so the
 // triangular work balances; each pair is computed exactly once, keeping the
 // result bit-identical to the sequential path.
-func PairwiseSqDistsInto(dst [][]float64, vs [][]float64) [][]float64 {
+//
+// Inputs are validated up front, before any worker fan-out: a ragged input
+// row or an undersized dst row returns ErrDimensionMismatch (an empty vs
+// returns an error too) instead of panicking inside a worker goroutine,
+// which would kill the process with no chance for the caller to recover.
+func PairwiseSqDistsInto(dst [][]float64, vs [][]float64) error {
+	if len(vs) == 0 {
+		return errEmptyInput
+	}
+	d, err := checkRect(vs)
+	if err != nil {
+		return err
+	}
 	n := len(vs)
-	d := 0
-	if n > 0 {
-		d = len(vs[0])
+	if len(dst) < n {
+		return ErrDimensionMismatch
+	}
+	for _, row := range dst[:n] {
+		if len(row) < n {
+			return ErrDimensionMismatch
+		}
 	}
 	w := ChunkWorkers(n * (n - 1) / 2 * d)
 	if w > n {
@@ -219,10 +235,10 @@ func PairwiseSqDistsInto(dst [][]float64, vs [][]float64) [][]float64 {
 		RunStriped(w, func(c int) {
 			pairwiseRows(dst, vs, c, w)
 		})
-		return dst
+		return nil
 	}
 	pairwiseRows(dst, vs, 0, 1)
-	return dst
+	return nil
 }
 
 // pairwiseRows computes the rows owned by worker c out of w (rows c, c+w,

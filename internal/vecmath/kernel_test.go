@@ -1,0 +1,77 @@
+package vecmath
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPairwiseSqDistsIntoValidates is the regression test for the kernel
+// deriving d from vs[0] alone: a ragged input row or an undersized dst row
+// used to panic inside a RunStriped worker goroutine (killing the process,
+// with no chance for the caller to recover), while every other *Into kernel
+// reports ErrDimensionMismatch. The kernel must validate up front, before
+// any worker fan-out, exactly like the colReduce kernels do via checkDst.
+func TestPairwiseSqDistsIntoValidates(t *testing.T) {
+	square := func(n int) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		dst  [][]float64
+		vs   [][]float64
+		want error
+	}{
+		{
+			name: "ragged input row",
+			dst:  square(3),
+			vs:   [][]float64{{1, 2}, {3, 4, 5}, {6, 7}},
+			want: ErrDimensionMismatch,
+		},
+		{
+			name: "short trailing input row",
+			dst:  square(2),
+			vs:   [][]float64{{1, 2, 3}, {4}},
+			want: ErrDimensionMismatch,
+		},
+		{
+			name: "dst too few rows",
+			dst:  square(2),
+			vs:   [][]float64{{1}, {2}, {3}},
+			want: ErrDimensionMismatch,
+		},
+		{
+			name: "dst row too short",
+			dst:  [][]float64{{0, 0, 0}, {0, 0}, {0, 0, 0}},
+			vs:   [][]float64{{1}, {2}, {3}},
+			want: ErrDimensionMismatch,
+		},
+		{
+			name: "empty input",
+			dst:  nil,
+			vs:   nil,
+			want: errEmptyInput,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := PairwiseSqDistsInto(tc.dst, tc.vs); !errors.Is(err, tc.want) {
+				t.Fatalf("PairwiseSqDistsInto = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The parallel path must be validated before fan-out too: a ragged row
+	// past the first would otherwise panic a worker goroutine. Force the
+	// striped path with a tiny grain.
+	SetParallelism(4)
+	SetParallelGrain(1)
+	defer SetParallelism(0)
+	defer SetParallelGrain(0)
+	vs := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8}}
+	if err := PairwiseSqDistsInto(square(3), vs); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("parallel path: PairwiseSqDistsInto = %v, want ErrDimensionMismatch", err)
+	}
+}

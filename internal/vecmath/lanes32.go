@@ -1,0 +1,100 @@
+package vecmath
+
+// Float32 distance lanes: optional reduced-precision storage for the
+// distance kernels, halving the memory traffic of the Θ(n²·d) pairwise pass
+// while every accumulation still runs in float64.
+//
+// Bit-stability note (mirroring the randx ziggurat switch): the float32
+// lanes are fully deterministic — the same inputs produce the same outputs
+// at every parallelism width, and the //dpbyz:deterministic contract holds —
+// but they are NOT bit-compatible with the float64 kernels: rounding each
+// coordinate to float32 changes the low bits of every distance, so any
+// consumer that switches lanes mid-run changes its numeric trajectory.
+// Consumers must therefore pick a lane per run (the gar sketch wrapper pins
+// it at construction) and never compare scores across lanes. The shortlist
+// consumers tolerate the distortion by design: candidates are re-checked
+// with the exact float64 kernel before selection.
+
+// Round32Into rounds v into the float32 lane dst and returns an error on
+// length mismatch.
+//
+//dpbyz:hotpath
+func Round32Into(dst []float32, v []float64) error {
+	if len(dst) != len(v) {
+		return ErrDimensionMismatch
+	}
+	for i, x := range v {
+		dst[i] = float32(x)
+	}
+	return nil
+}
+
+// SqDist32 returns the squared Euclidean distance between two float32 lanes,
+// with the subtraction in float32 and the square-and-accumulate in float64.
+// It panics on length mismatch, mirroring SqDist.
+//
+//dpbyz:hotpath
+func SqDist32(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: length mismatch in SqDist32")
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return s
+}
+
+// PairwiseSqDists32Into is PairwiseSqDistsInto over float32 lanes: it fills
+// dst[i][j] with the float64-accumulated squared distance between the
+// float32 rows of vs. Validation and worker striping match the float64
+// kernel; see the package note above for the lane's bit-stability contract.
+func PairwiseSqDists32Into(dst [][]float64, vs [][]float32) error {
+	if len(vs) == 0 {
+		return errEmptyInput
+	}
+	d := len(vs[0])
+	for _, v := range vs {
+		if len(v) != d {
+			return ErrDimensionMismatch
+		}
+	}
+	n := len(vs)
+	if len(dst) < n {
+		return ErrDimensionMismatch
+	}
+	for _, row := range dst[:n] {
+		if len(row) < n {
+			return ErrDimensionMismatch
+		}
+	}
+	w := ChunkWorkers(n * (n - 1) / 2 * d)
+	if w > n {
+		w = n
+	}
+	if w > 1 {
+		RunStriped(w, func(c int) {
+			pairwiseRows32(dst, vs, c, w)
+		})
+		return nil
+	}
+	pairwiseRows32(dst, vs, 0, 1)
+	return nil
+}
+
+// pairwiseRows32 computes the rows owned by worker c out of w; same
+// ownership discipline as pairwiseRows.
+//
+//dpbyz:hotpath
+func pairwiseRows32(dst [][]float64, vs [][]float32, c, w int) {
+	n := len(vs)
+	for i := c; i < n; i += w {
+		dst[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			dv := SqDist32(vs[i], vs[j])
+			dst[i][j] = dv
+			dst[j][i] = dv
+		}
+	}
+}

@@ -73,7 +73,10 @@ func TestParallelKernelsBitIdenticalToSequential(t *testing.T) {
 		if err := MeanInto(seqMean, vs); err != nil {
 			t.Fatal(err)
 		}
-		seqGram := PairwiseSqDists(vs)
+		seqGram, err := PairwiseSqDists(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		// Forced-parallel run of the same kernels.
 		forceParallel(t, 8)
@@ -93,7 +96,10 @@ func TestParallelKernelsBitIdenticalToSequential(t *testing.T) {
 		if err := MeanInto(parMean, vs); err != nil {
 			t.Fatal(err)
 		}
-		parGram := PairwiseSqDists(vs)
+		parGram, err := PairwiseSqDists(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		SetParallelism(0)
 		SetParallelGrain(0)
 
@@ -223,7 +229,10 @@ func TestInlineKernelsZeroAlloc(t *testing.T) {
 	rng := randx.New(5)
 	vs := randMatrix(rng, 11, 256)
 	dst := make([]float64, 256)
-	gram := PairwiseSqDists(vs)
+	gram, err := PairwiseSqDists(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Warm the pools.
 	if err := CoordMedianInto(dst, vs); err != nil {
@@ -238,7 +247,7 @@ func TestInlineKernelsZeroAlloc(t *testing.T) {
 		{"TrimmedCoordMeanInto", func() { _ = TrimmedCoordMeanInto(dst, vs, 4) }},
 		{"MeanAroundMedianInto", func() { _ = MeanAroundMedianInto(dst, vs, 6) }},
 		{"MeanInto", func() { _ = MeanInto(dst, vs) }},
-		{"PairwiseSqDistsInto", func() { PairwiseSqDistsInto(gram, vs) }},
+		{"PairwiseSqDistsInto", func() { _ = PairwiseSqDistsInto(gram, vs) }},
 	}
 	for _, c := range checks {
 		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {

@@ -1,0 +1,75 @@
+package vecmath
+
+import (
+	"sort"
+	"testing"
+
+	"dpbyz/internal/randx"
+)
+
+// TestPartialSortAscendingMatchesFullSort checks the contract the Krum score
+// kernel rests on: for every k, xs[:k] after PartialSortAscending equals the
+// k-prefix of a fully sorted copy, bit for bit — including inputs dense with
+// exact ties, which is how colluding Byzantine submissions look.
+func TestPartialSortAscendingMatchesFullSort(t *testing.T) {
+	rng := randx.New(17)
+	lengths := []int{0, 1, 2, 3, 7, 13, 64, 257, 1000}
+	for _, n := range lengths {
+		for trial := 0; trial < 4; trial++ {
+			base := make([]float64, n)
+			for i := range base {
+				if trial%2 == 1 {
+					// Heavy ties: values drawn from a tiny set.
+					base[i] = float64(rng.Intn(4))
+				} else {
+					base[i] = rng.Normal()
+				}
+			}
+			want := append([]float64(nil), base...)
+			sort.Float64s(want)
+			for _, k := range []int{0, 1, n / 3, n / 2, n - 1, n, n + 5} {
+				if k < 0 {
+					continue
+				}
+				got := append([]float64(nil), base...)
+				PartialSortAscending(got, k)
+				kk := k
+				if kk > n {
+					kk = n
+				}
+				for i := 0; i < kk; i++ {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d trial=%d k=%d: prefix[%d] = %v, want %v",
+							n, trial, k, i, got[i], want[i])
+					}
+				}
+				// The suffix must still hold the remaining multiset.
+				rest := append([]float64(nil), got[kk:]...)
+				sort.Float64s(rest)
+				for i, x := range rest {
+					if x != want[kk+i] {
+						t.Fatalf("n=%d trial=%d k=%d: suffix multiset diverged", n, trial, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartialSortAscendingZeroAlloc pins the selection helper to zero
+// allocations: it runs inside the //dpbyz:hotpath Krum kernel.
+func TestPartialSortAscendingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under the race detector")
+	}
+	rng := randx.New(3)
+	xs := make([]float64, 1023)
+	for i := range xs {
+		xs[i] = rng.Normal()
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		PartialSortAscending(xs, 700)
+	}); allocs != 0 {
+		t.Errorf("PartialSortAscending allocates %v objects per call", allocs)
+	}
+}

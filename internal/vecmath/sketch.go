@@ -1,0 +1,115 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+
+	"dpbyz/internal/randx"
+)
+
+// sketchNonzeros is the per-column sparsity s of the sketch transform: each
+// input coordinate lands in s sketch rows. Kane–Nelson-style sparse JL
+// embeddings need only s = Θ(ε⁻¹·log(1/δ)) nonzeros per column for the same
+// distortion guarantee as a dense Gaussian matrix; s = 4 keeps the projection
+// at 4 multiply-adds per input coordinate, and the shortlist consumers
+// re-check candidates exactly anyway.
+const sketchNonzeros = 4
+
+// Sketcher is a deterministic sparse random projection R^d → R^k that
+// approximately preserves pairwise Euclidean distances (Johnson–
+// Lindenstrauss): each input coordinate is scattered into s = sketchNonzeros
+// distinct sketch rows with signs ±1/√s. The tables are a pure function of
+// (d, k, seed) via a dedicated randx stream, so every process that shares
+// the seed builds the identical sketch — the property the cross-backend
+// shortlist agreement rests on — and the d·s index/sign representation
+// avoids ever materializing the dense k×d matrix (256 MB of float64 at
+// k = 32, d = 10⁶).
+type Sketcher struct {
+	d, k int
+	// idx[j*s+t] is the sketch row receiving input coordinate j's t-th
+	// contribution; sign[j*s+t] is the matching ±1/√s entry.
+	idx  []int32
+	sign []float64
+}
+
+// NewSketcher builds the sketch tables for dimension d down to k rows from
+// seed. k is clamped to d (projecting up is never useful); d and k must be
+// positive.
+func NewSketcher(d, k int, seed uint64) (*Sketcher, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("vecmath: sketch input dimension %d < 1", d)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("vecmath: sketch dimension %d < 1", k)
+	}
+	if k > d {
+		k = d
+	}
+	s := sketchNonzeros
+	if s > k {
+		s = k
+	}
+	sk := &Sketcher{
+		d:    d,
+		k:    k,
+		idx:  make([]int32, d*s),
+		sign: make([]float64, d*s),
+	}
+	scale := 1 / math.Sqrt(float64(s))
+	stream := randx.New(seed).Derive('s', 'k', 'c', 'h')
+	for j := 0; j < d; j++ {
+		row := sk.idx[j*s : (j+1)*s]
+		sgn := sk.sign[j*s : (j+1)*s]
+		for t := 0; t < s; t++ {
+			// Rejection-sample a row distinct from this column's earlier
+			// picks; s <= 4, so the loop is a handful of draws at worst.
+		draw:
+			for {
+				r := int32(stream.Intn(k))
+				for _, prev := range row[:t] {
+					if prev == r {
+						continue draw
+					}
+				}
+				row[t] = r
+				break
+			}
+			if stream.Uint64()&1 == 0 {
+				sgn[t] = scale
+			} else {
+				sgn[t] = -scale
+			}
+		}
+	}
+	return sk, nil
+}
+
+// K returns the sketch dimension (rows).
+func (sk *Sketcher) K() int { return sk.k }
+
+// D returns the input dimension (columns).
+func (sk *Sketcher) D() int { return sk.d }
+
+// ProjectInto writes the k-dimensional sketch of v into dst without
+// allocating. len(dst) must be K() and len(v) must be D().
+//
+//dpbyz:hotpath
+func (sk *Sketcher) ProjectInto(dst []float64, v []float64) error {
+	if len(v) != sk.d || len(dst) != sk.k {
+		return ErrDimensionMismatch
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	s := len(sk.idx) / sk.d
+	for j, x := range v {
+		if x == 0 {
+			continue
+		}
+		base := j * s
+		for t := 0; t < s; t++ {
+			dst[sk.idx[base+t]] += sk.sign[base+t] * x
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"dpbyz/internal/randx"
+)
+
+// TestSketcherDeterministic pins the seed contract: identical (d, k, seed)
+// build identical tables and projections; a different seed builds a
+// different transform.
+func TestSketcherDeterministic(t *testing.T) {
+	const d, k = 300, 32
+	a, err := NewSketcher(d, k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSketcher(d, k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSketcher(d, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, d)
+	rng := randx.New(1)
+	rng.NormalVec(v, 1)
+	pa, pb, pc := make([]float64, k), make([]float64, k), make([]float64, k)
+	if err := a.ProjectInto(pa, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ProjectInto(pb, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProjectInto(pc, v); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("same seed diverges at row %d: %v != %v", i, pa[i], pb[i])
+		}
+		if pa[i] != pc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical projections")
+	}
+}
+
+// TestSketcherPreservesDistances is the JL sanity check: over a cloud of
+// vectors, sketch distances approximate exact distances within a loose
+// multiplicative band. The shortlist consumers only need ordering to be
+// roughly right (candidates are exactly re-checked), so the band is wide.
+func TestSketcherPreservesDistances(t *testing.T) {
+	const d, k, n = 2000, 64, 12
+	sk, err := NewSketcher(d, k, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(5)
+	vs := make([][]float64, n)
+	ps := make([][]float64, n)
+	for i := range vs {
+		vs[i] = make([]float64, d)
+		rng.NormalVec(vs[i], 1)
+		ps[i] = make([]float64, k)
+		if err := sk.ProjectInto(ps[i], vs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			exact := SqDist(vs[i], vs[j])
+			approx := SqDist(ps[i], ps[j])
+			ratio := approx / exact
+			if math.IsNaN(ratio) || ratio < 0.3 || ratio > 3 {
+				t.Errorf("pair (%d,%d): sketch/exact squared-distance ratio %.3f outside [0.3, 3]",
+					i, j, ratio)
+			}
+		}
+	}
+}
+
+// TestSketcherValidation covers the constructor and projection error paths.
+func TestSketcherValidation(t *testing.T) {
+	if _, err := NewSketcher(0, 4, 1); err == nil {
+		t.Error("NewSketcher accepted d=0")
+	}
+	if _, err := NewSketcher(4, 0, 1); err == nil {
+		t.Error("NewSketcher accepted k=0")
+	}
+	sk, err := NewSketcher(8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.K() != 8 {
+		t.Errorf("k not clamped to d: K() = %d", sk.K())
+	}
+	if err := sk.ProjectInto(make([]float64, sk.K()), make([]float64, 9)); err == nil {
+		t.Error("ProjectInto accepted wrong input dimension")
+	}
+	if err := sk.ProjectInto(make([]float64, 3), make([]float64, 8)); err == nil {
+		t.Error("ProjectInto accepted wrong sketch dimension")
+	}
+}
+
+// TestIncGramBoundsSound checks, over a random walk of submissions, that the
+// triangle-inequality bounds always bracket the true squared distances and
+// tighten back to exact on Refresh.
+func TestIncGramBoundsSound(t *testing.T) {
+	const n, d, rounds = 9, 40, 12
+	rng := randx.New(23)
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = make([]float64, d)
+		rng.NormalVec(vs[i], 1)
+	}
+	g := NewIncGram()
+	if g.Advance(vs) {
+		t.Fatal("Advance succeeded with no reference")
+	}
+	if err := g.Refresh(vs); err != nil {
+		t.Fatal(err)
+	}
+	step := make([]float64, d)
+	for r := 0; r < rounds; r++ {
+		for i := range vs {
+			rng.NormalVec(step, 0.05)
+			AddInto(vs[i], vs[i], step)
+		}
+		if !g.Advance(vs) {
+			t.Fatalf("round %d: Advance reported not-ready", r)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				lo, hi := g.BoundSq(i, j)
+				truth := SqDist(vs[i], vs[j])
+				if truth < lo-1e-9 || truth > hi+1e-9 {
+					t.Fatalf("round %d pair (%d,%d): true %v outside [%v, %v]",
+						r, i, j, truth, lo, hi)
+				}
+			}
+		}
+	}
+	if g.Rounds() != rounds {
+		t.Errorf("Rounds() = %d, want %d", g.Rounds(), rounds)
+	}
+	if err := g.Refresh(vs); err != nil {
+		t.Fatal(err)
+	}
+	if g.Refreshes() != 2 {
+		t.Errorf("Refreshes() = %d, want 2", g.Refreshes())
+	}
+	if !g.Advance(vs) {
+		t.Fatal("Advance after refresh failed")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lo, hi := g.BoundSq(i, j)
+			if lo != hi {
+				t.Fatalf("zero drift must pin the bounds: pair (%d,%d) [%v, %v]", i, j, lo, hi)
+			}
+		}
+	}
+}
+
+// TestLanes32MatchesFloat64Approximately pins the float32 lane contract:
+// deterministic, close to the float64 kernel, but not expected to be
+// bit-identical (see the lanes32 bit-stability note).
+func TestLanes32MatchesFloat64Approximately(t *testing.T) {
+	const n, d = 7, 513
+	rng := randx.New(9)
+	vs := make([][]float64, n)
+	vs32 := make([][]float32, n)
+	for i := range vs {
+		vs[i] = make([]float64, d)
+		rng.NormalVec(vs[i], 1)
+		vs32[i] = make([]float32, d)
+		if err := Round32Into(vs32[i], vs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact := make([][]float64, n)
+	lane := make([][]float64, n)
+	laneSeq := make([][]float64, n)
+	for i := range exact {
+		exact[i] = make([]float64, n)
+		lane[i] = make([]float64, n)
+		laneSeq[i] = make([]float64, n)
+	}
+	if err := PairwiseSqDistsInto(exact, vs); err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(1)
+	if err := PairwiseSqDists32Into(laneSeq, vs32); err != nil {
+		t.Fatal(err)
+	}
+	forceParallel(t, 8)
+	if err := PairwiseSqDists32Into(lane, vs32); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if lane[i][j] != laneSeq[i][j] {
+				t.Fatalf("float32 lane is parallelism-dependent at (%d,%d)", i, j)
+			}
+			if diff := math.Abs(lane[i][j] - exact[i][j]); diff > 1e-3*(1+exact[i][j]) {
+				t.Fatalf("lane (%d,%d) = %v too far from exact %v", i, j, lane[i][j], exact[i][j])
+			}
+		}
+	}
+	if err := PairwiseSqDists32Into(lane, [][]float32{{1, 2}, {3}}); err == nil {
+		t.Error("PairwiseSqDists32Into accepted ragged input")
+	}
+}

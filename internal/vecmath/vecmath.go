@@ -300,15 +300,19 @@ func CoordStd(vs [][]float64) ([]float64, error) {
 }
 
 // PairwiseSqDists returns the symmetric matrix of squared distances between
-// the vectors in vs; entry [i][j] holds ‖vs[i]−vs[j]‖².
-func PairwiseSqDists(vs [][]float64) [][]float64 {
+// the vectors in vs; entry [i][j] holds ‖vs[i]−vs[j]‖². It returns an error
+// when vs is empty or the vectors disagree on dimension.
+func PairwiseSqDists(vs [][]float64) ([][]float64, error) {
 	n := len(vs)
 	m := make([][]float64, n)
 	flat := make([]float64, n*n)
 	for i := range m {
 		m[i] = flat[i*n : (i+1)*n]
 	}
-	return PairwiseSqDistsInto(m, vs)
+	if err := PairwiseSqDistsInto(m, vs); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Diameter returns the maximum pairwise Euclidean distance among vs.

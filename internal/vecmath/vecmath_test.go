@@ -263,7 +263,10 @@ func TestCoordStd(t *testing.T) {
 
 func TestPairwiseSqDistsAndDiameter(t *testing.T) {
 	vs := [][]float64{{0, 0}, {3, 4}, {0, 1}}
-	m := PairwiseSqDists(vs)
+	m, err := PairwiseSqDists(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m[0][1] != 25 || m[1][0] != 25 {
 		t.Errorf("pairwise[0][1] = %v", m[0][1])
 	}
